@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper artifact it regenerates (run pytest with
+``-s`` to see the tables/charts) and asserts the paper's qualitative
+conclusions, so a green benchmark run *is* a successful reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure with surrounding whitespace."""
+    print()
+    print(text)
+    print()
+
+
+@pytest.fixture
+def alexnet_specs():
+    """The paper's AlexNet conv-layer table."""
+    from repro.workloads import alexnet_conv_specs
+
+    return alexnet_conv_specs()

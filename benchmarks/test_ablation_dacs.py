@@ -1,0 +1,57 @@
+"""Ablation — input-DAC count (the paper's N_DAC = 10 design choice).
+
+Eq. 8 makes the full-system time inversely proportional to the DAC count
+until the 5 GHz optical clock becomes the floor; this sweep quantifies
+where the knee sits for the largest AlexNet layer.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, format_time, sweep_num_dacs
+from repro.core.analytical import optical_core_time_s
+
+DAC_COUNTS = [1, 2, 5, 10, 20, 50, 100, 576, 1000, 10_000]
+
+
+def test_dac_count_sweep(benchmark, alexnet_specs):
+    """Full-system time falls as 1/N_DAC, then hits the optical floor."""
+    conv4 = alexnet_specs[3]
+    points = benchmark(sweep_num_dacs, conv4, DAC_COUNTS)
+    emit(
+        format_table(
+            ["N_DAC", "full-system time", "vs optical core"],
+            [
+                [
+                    int(p.parameter),
+                    format_time(p.full_system_time_s),
+                    f"{p.full_system_time_s / p.optical_time_s:.1f}x",
+                ]
+                for p in points
+            ],
+            title="Ablation: input-DAC count, AlexNet conv4",
+        )
+    )
+
+    times = [p.full_system_time_s for p in points]
+    # Monotone non-increasing in the DAC count.
+    assert all(a >= b for a, b in zip(times, times[1:]))
+    # 1 -> 10 DACs is a ~10x gain (pure eq. 8 regime).
+    assert times[0] / times[3] == pytest.approx(10.0, rel=1e-6)
+    # With enough DACs the optical core is the floor.
+    floor = optical_core_time_s(conv4)
+    assert times[-1] == pytest.approx(floor)
+
+
+def test_paper_choice_near_knee(benchmark, alexnet_specs):
+    """With 10 DACs, conv4 is still ~100x off the optical floor — the
+    paper's choice trades DAC area against the eq. 8 serialization."""
+    conv4 = alexnet_specs[3]
+
+    def gap_at_ten():
+        point = sweep_num_dacs(conv4, [10])[0]
+        return point.full_system_time_s / point.optical_time_s
+
+    gap = benchmark(gap_at_ten)
+    emit(f"conv4 at N_DAC=10: full system is {gap:.0f}x the optical core")
+    assert 50 < gap < 150

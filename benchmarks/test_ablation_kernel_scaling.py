@@ -1,0 +1,65 @@
+"""Ablation — the paper's key scaling property (section V-B).
+
+"Tconv ... is independent of the number of kernels.  This allows for
+increasing the number of kernels without sacrificing execution time.
+The only overhead ... is the allocation of more dedicated microrings per
+kernel ... the number of microrings increase only linearly."
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_count, format_table, format_time, sweep_kernel_count
+from repro.core.config import PCNNAConfig
+
+KERNEL_COUNTS = [48, 96, 192, 384, 768, 1536]
+
+
+def test_time_flat_rings_linear(benchmark, alexnet_specs):
+    """Layer time flat in K; ring count exactly linear in K."""
+    conv4 = alexnet_specs[3]
+    points = benchmark(sweep_kernel_count, conv4, KERNEL_COUNTS)
+    emit(
+        format_table(
+            ["K", "full-system time", "rings (eq. 5)"],
+            [
+                [int(p.parameter), format_time(p.full_system_time_s),
+                 format_count(p.rings)]
+                for p in points
+            ],
+            title="Ablation: kernel count, AlexNet conv4 geometry",
+        )
+    )
+    times = {p.full_system_time_s for p in points}
+    assert len(times) == 1  # Perfectly flat.
+    for first, point in zip(points, points):
+        pass
+    base = points[0]
+    for point in points[1:]:
+        assert point.rings / base.rings == pytest.approx(
+            point.parameter / base.parameter
+        )
+
+
+def test_bank_cap_breaks_flatness(benchmark, alexnet_specs):
+    """With a finite bank budget the flat-K property degrades into
+    ceil(K / banks) sequential passes — the real-hardware regime."""
+    conv4 = alexnet_specs[3]
+    config = PCNNAConfig(max_parallel_kernels=96)
+
+    def sweep():
+        return sweep_kernel_count(conv4, KERNEL_COUNTS, config)
+
+    points = benchmark(sweep)
+    emit(
+        format_table(
+            ["K", "full-system time (96 banks)"],
+            [[int(p.parameter), format_time(p.full_system_time_s)] for p in points],
+            title="Ablation: kernel count with a 96-bank budget",
+        )
+    )
+    times = [p.full_system_time_s for p in points]
+    # 48 and 96 kernels fit one pass; beyond that time scales with passes.
+    assert times[0] == times[1]
+    assert times[3] == pytest.approx(4 * times[1])
+    assert times[5] == pytest.approx(16 * times[1])

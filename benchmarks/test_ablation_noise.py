@@ -1,0 +1,123 @@
+"""Ablation — photonic non-idealities vs. convolution accuracy.
+
+The paper cites device non-idealities qualitatively; this ablation
+quantifies them on a representative convolution through the full device
+simulation: ring-tuning error, DAC/ADC quantization, and inter-channel
+crosstalk (as a function of ring quality factor).
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core.config import PCNNAConfig
+from repro.core.validation import compare_photonic_reference
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.noise import NoiseConfig
+
+
+def _case(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(2, 8, 8)), rng.normal(size=(4, 2, 3, 3))
+
+
+def test_tuning_error_sweep(benchmark):
+    """Relative conv error grows monotonically with ring-tuning sigma."""
+    x, k = _case()
+    sigmas = [0.0, 1e-4, 1e-3, 1e-2, 5e-2]
+
+    def sweep():
+        errors = []
+        for sigma in sigmas:
+            config = PCNNAConfig(
+                noise=NoiseConfig(
+                    enabled=True,
+                    shot_noise=False,
+                    thermal_noise=False,
+                    ring_tuning_sigma=sigma,
+                    seed=1,
+                )
+            )
+            report = compare_photonic_reference(x, k, config=config)
+            errors.append(report.max_rel_error)
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["tuning sigma", "max relative error"],
+            [[f"{s:g}", f"{e:.2e}"] for s, e in zip(sigmas, errors)],
+            title="Ablation: ring-tuning error vs conv accuracy",
+        )
+    )
+    assert errors[0] < 1e-10
+    assert errors[1] < errors[3] < errors[4]
+
+
+def test_quantization_error(benchmark):
+    """16 b DAC + 12 b ADC keeps relative conv error below 1 %."""
+    x, k = _case(1)
+    report = benchmark.pedantic(
+        compare_photonic_reference,
+        args=(x, k),
+        kwargs={"quantize": True},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"DAC/ADC quantization: max relative error = {report.max_rel_error:.2e}"
+    )
+    assert 0.0 < report.max_rel_error < 1e-2
+
+
+def test_crosstalk_vs_quality_factor(benchmark):
+    """Crosstalk error shrinks as ring Q rises (narrower linewidths)."""
+    x, k = _case(2)
+    q_factors = [2_000, 8_000, 32_000, 128_000]
+
+    def sweep():
+        errors = []
+        for q in q_factors:
+            config = PCNNAConfig(
+                ring_design=MicroringDesign(quality_factor=q),
+                noise=NoiseConfig(
+                    enabled=True,
+                    shot_noise=False,
+                    thermal_noise=False,
+                    crosstalk=True,
+                    seed=3,
+                ),
+            )
+            report = compare_photonic_reference(x, k, config=config)
+            errors.append(report.max_rel_error)
+        return errors
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["quality factor", "max relative error"],
+            [[q, f"{e:.2e}"] for q, e in zip(q_factors, errors)],
+            title="Ablation: ring Q vs crosstalk error (100 GHz grid)",
+        )
+    )
+    assert all(a > b for a, b in zip(errors, errors[1:]))
+
+
+def test_shot_thermal_noise_floor(benchmark):
+    """Receiver noise alone leaves a small random error floor."""
+    x, k = _case(3)
+    config = PCNNAConfig(
+        noise=NoiseConfig(
+            enabled=True, shot_noise=True, thermal_noise=True, seed=4
+        )
+    )
+    report = benchmark.pedantic(
+        compare_photonic_reference,
+        args=(x, k),
+        kwargs={"config": config},
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"shot+thermal receiver noise: max relative error = {report.max_rel_error:.2e}")
+    assert 0.0 < report.max_rel_error < 0.1

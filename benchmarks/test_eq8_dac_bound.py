@@ -1,0 +1,66 @@
+"""Equation (8) — the DAC bottleneck worked example.
+
+Paper: for the largest AlexNet layer (conv4: nc=384, m=3, s=1) with 10
+input DACs, each DAC converts ~116 values per kernel location, making the
+16 b / 6 GSa/s DAC the full-system speed constraint.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, format_time
+from repro.core.analytical import (
+    dac_updates_per_location,
+    per_location_adc_time_s,
+    per_location_dac_time_s,
+)
+from repro.core.config import PCNNAConfig
+from repro.electronics.dac import DacArray
+
+
+def test_eq8_conv4_updates(benchmark, alexnet_specs):
+    """Reproduce the '384 * 3 * 1 / 10 ~ 116' worked example."""
+    conv4 = alexnet_specs[3]
+    updates = benchmark(dac_updates_per_location, conv4)
+    emit(
+        f"eq. 8 for conv4: nc*m*s / N_DAC = 384*3*1 / 10 = {updates:.1f} "
+        "values per DAC per location (paper: ~116)"
+    )
+    assert updates == pytest.approx(115.2)
+
+
+def test_eq8_per_location_times(benchmark, alexnet_specs):
+    """Per-location stage times for every layer: the DAC dominates the
+    optical cycle everywhere (the paper's bottleneck claim)."""
+    config = PCNNAConfig()
+
+    def compute_rows():
+        rows = []
+        for spec in alexnet_specs:
+            dac = per_location_dac_time_s(spec, config)
+            adc = per_location_adc_time_s(spec, config)
+            rows.append([spec.name, dac, adc, config.fast_clock_period_s])
+        return rows
+
+    rows = benchmark(compute_rows)
+    emit(
+        format_table(
+            ["layer", "DAC time/loc", "ADC time/loc", "optical cycle"],
+            [
+                [name, format_time(dac), format_time(adc), format_time(cycle)]
+                for name, dac, adc, cycle in rows
+            ],
+            title="Per-location stage times (paper config)",
+        )
+    )
+    for name, dac, adc, cycle in rows:
+        assert dac > cycle, f"{name}: DAC must dominate the optical cycle"
+
+
+def test_eq8_dac_array_scheduling(benchmark, alexnet_specs):
+    """The discrete DAC array schedule matches eq. 8 within the ceiling."""
+    conv4 = alexnet_specs[3]
+    array = DacArray(10)
+    conversion = benchmark(array.schedule, conv4.stride_update_values)
+    assert conversion.per_dac_values == 116  # ceil(115.2)
+    assert conversion.time_s == pytest.approx(116 / 6e9)

@@ -1,0 +1,68 @@
+"""Extension — batching and the weight-load amortization the paper omits.
+
+The paper reports conv time only; loading a layer's K*Nkernel weights
+through the single 6 GSa/s weight DAC takes hundreds of microseconds —
+far more than the conv itself.  This benchmark quantifies the crossover
+batch size and the sustained throughput.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, format_time
+from repro.core.batching import network_batch_timing, weight_stationary_crossover
+
+BATCHES = [1, 4, 16, 64, 256, 1024]
+
+
+def test_batch_sweep(benchmark, alexnet_specs):
+    """Throughput vs batch size for the AlexNet conv stack."""
+
+    def sweep():
+        return [network_batch_timing(alexnet_specs, b) for b in BATCHES]
+
+    timings = benchmark(sweep)
+    emit(
+        format_table(
+            ["batch", "per-image latency", "throughput", "weight-load share"],
+            [
+                [
+                    t.batch_size,
+                    format_time(t.per_image_s),
+                    f"{t.images_per_s:,.0f} img/s",
+                    f"{t.weight_load_fraction:.1%}",
+                ]
+                for t in timings
+            ],
+            title="Extension: batching the AlexNet conv stack on PCNNA",
+        )
+    )
+    # Weight-load share strictly decreases with batch size.
+    shares = [t.weight_load_fraction for t in timings]
+    assert all(a > b for a, b in zip(shares, shares[1:]))
+    # Batch of 1 is dominated by weight loading.
+    assert shares[0] > 0.9
+
+
+def test_crossover_batch(benchmark, alexnet_specs):
+    """Batch size where conv time first matches weight loading."""
+    crossover = benchmark(weight_stationary_crossover, alexnet_specs)
+    emit(
+        f"weight-stationary crossover batch for AlexNet: {crossover} images\n"
+        "(below this, the single weight DAC — not eq. 8 — limits PCNNA)"
+    )
+    assert 10 < crossover < 100
+
+
+def test_amortized_latency_approaches_paper_numbers(benchmark, alexnet_specs):
+    """At large batch, per-image latency converges to the Fig. 6 total."""
+    from repro.core.analytical import full_system_time_s
+
+    timing = benchmark(network_batch_timing, alexnet_specs, 4096)
+    paper_total = sum(full_system_time_s(s) for s in alexnet_specs)
+    emit(
+        f"amortized per-image latency at batch 4096: "
+        f"{format_time(timing.per_image_s)} "
+        f"(paper's conv-only total: {format_time(paper_total)})"
+    )
+    assert timing.per_image_s == pytest.approx(paper_total, rel=0.02)

@@ -1,0 +1,116 @@
+"""Extension — PCNNA analytics on networks beyond the paper's AlexNet.
+
+The paper motivates PCNNA with "current CNNs comprise of tens ... of
+layers"; this extension applies the full analytical pipeline to VGG-16
+and LeNet-5 and checks the conclusions generalize: filtering savings of
+Ninput on every layer, and multi-order speedups over the Eyeriss
+analytical model.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_count, format_table, format_time
+from repro.baselines import EyerissModel
+from repro.core.analytical import (
+    analyze_network,
+    full_system_time_s,
+    network_totals,
+)
+from repro.workloads import lenet5_conv_specs, vgg16_conv_specs
+
+
+def test_vgg16_analytics(benchmark):
+    """Full analytical pipeline over VGG-16's thirteen conv layers."""
+    specs = vgg16_conv_specs()
+    analyses = benchmark(analyze_network, specs)
+    eyeriss = EyerissModel()
+    emit(
+        format_table(
+            ["layer", "rings (eq. 5)", "PCNNA(O+E)", "Eyeriss (model)", "speedup"],
+            [
+                [
+                    a.name,
+                    format_count(a.rings_filtered),
+                    format_time(a.full_system_time_s),
+                    format_time(eyeriss.layer_time_s(a.spec)),
+                    f"{eyeriss.layer_time_s(a.spec) / a.full_system_time_s:,.0f}x",
+                ]
+                for a in analyses
+            ],
+            title="Extension: VGG-16 on PCNNA",
+        )
+    )
+    for analysis in analyses:
+        assert analysis.ring_savings == analysis.spec.n_input
+        speedup = eyeriss.layer_time_s(analysis.spec) / analysis.full_system_time_s
+        assert speedup > 100, analysis.name
+
+
+def test_vgg16_network_totals(benchmark):
+    """VGG-16's whole conv stack finishes in well under a millisecond."""
+    totals = benchmark(lambda: network_totals(analyze_network(vgg16_conv_specs())))
+    emit(
+        f"VGG-16 conv stack on PCNNA(O+E): {format_time(totals['full_system_time_s'])} "
+        f"({format_count(totals['macs'])} MACs)"
+    )
+    assert totals["full_system_time_s"] < 1e-3
+    # VGG-16 convs are ~15.3 G MACs.
+    assert totals["macs"] == pytest.approx(15.3e9, rel=0.05)
+
+
+def test_lenet5_analytics(benchmark):
+    """LeNet-5: small layers hit the optical-clock floor, not the DAC."""
+    specs = lenet5_conv_specs()
+    analyses = benchmark(analyze_network, specs)
+    emit(
+        format_table(
+            ["layer", "rings", "PCNNA(O)", "PCNNA(O+E)"],
+            [
+                [
+                    a.name,
+                    format_count(a.rings_filtered),
+                    format_time(a.optical_time_s),
+                    format_time(a.full_system_time_s),
+                ]
+                for a in analyses
+            ],
+            title="Extension: LeNet-5 on PCNNA",
+        )
+    )
+    # conv1 (nc=1, m=5): 5 values/step over 10 DACs -> optical floor.
+    conv1 = analyses[0]
+    assert conv1.full_system_time_s == pytest.approx(conv1.optical_time_s)
+
+
+def test_googlenet_analytics(benchmark):
+    """GoogLeNet's 58 convs (inception branches flattened) on PCNNA."""
+    from repro.workloads import googlenet_conv_specs
+
+    specs = googlenet_conv_specs()
+    totals = benchmark(lambda: network_totals(analyze_network(specs)))
+    emit(
+        f"GoogLeNet: {len(specs)} conv layer requests, "
+        f"{format_count(totals['macs'])} MACs, conv stack "
+        f"{format_time(totals['full_system_time_s'])} on PCNNA(O+E)"
+    )
+    assert len(specs) == 3 + 9 * 6  # stem + inception branch convs
+    assert totals["full_system_time_s"] < 200e-6
+
+
+def test_largest_vgg_layer_ring_budget(benchmark):
+    """The ring budget for VGG's widest mapping stays below AlexNet's
+    worst case per bank but exceeds it in total banks."""
+    specs = vgg16_conv_specs()
+
+    def worst():
+        analyses = analyze_network(specs)
+        return max(analyses, key=lambda a: a.rings_filtered)
+
+    worst_layer = benchmark(worst)
+    emit(
+        f"largest VGG-16 mapping: {worst_layer.name} with "
+        f"{format_count(worst_layer.rings_filtered)} rings "
+        f"({worst_layer.layer_rings_area_mm2:,.0f} mm^2 of rings)"
+    )
+    assert worst_layer.rings_filtered == 512 * 9 * 512

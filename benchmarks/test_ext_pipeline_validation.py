@@ -1,0 +1,86 @@
+"""Extension — validating the timing models against each other.
+
+Three independent implementations of PCNNA's layer time exist in this
+repository: the paper's closed form (eq. 7/8), the per-location max()
+pipeline model, and an exact discrete-event simulation.  This benchmark
+runs all three on every AlexNet layer and shows the error ladder —
+evidence that the reproduction's numbers are not an artifact of one
+model's assumptions.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, format_time
+from repro.core.analytical import full_system_time_s
+from repro.core.config import paper_assumptions
+from repro.core.pipeline import simulate_pipeline
+from repro.core.timing import simulate_layer
+
+
+def test_three_model_ladder(benchmark, alexnet_specs):
+    """analytical <= discrete-event <= max-model, all within ~25 %."""
+    config = paper_assumptions()
+
+    def compute():
+        rows = []
+        for spec in alexnet_specs:
+            analytical = full_system_time_s(spec, config)
+            exact = simulate_pipeline(spec, config, include_adc=False).makespan_s
+            approx = simulate_layer(
+                spec, config, include_adc=False
+            ).pipelined_time_s
+            rows.append((spec.name, analytical, exact, approx))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["layer", "analytical (eq. 8)", "discrete-event", "max-model",
+             "DE/analytical", "max/DE"],
+            [
+                [
+                    name,
+                    format_time(analytical),
+                    format_time(exact),
+                    format_time(approx),
+                    f"{exact / analytical:.3f}",
+                    f"{approx / exact:.3f}",
+                ]
+                for name, analytical, exact, approx in rows
+            ],
+            title="Timing-model validation ladder (paper memory assumptions)",
+        )
+    )
+    for name, analytical, exact, approx in rows:
+        assert analytical <= exact * 1.001, name       # closed form is a floor
+        assert exact <= approx * 1.001, name           # max-model is a ceiling
+        assert approx / analytical < 1.25, name        # all within 25 %
+
+
+def test_pipeline_utilization(benchmark, alexnet_specs):
+    """The bottleneck stage saturates; everything else idles."""
+    config = paper_assumptions()
+    conv4 = alexnet_specs[3]
+    result = benchmark.pedantic(
+        simulate_pipeline,
+        args=(conv4, config),
+        kwargs={"include_adc": False},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["stage", "utilization"],
+            [
+                [name, f"{util:.1%}"]
+                for name, util in zip(
+                    ("fetch", "convert", "compute", "digitize"),
+                    result.stage_utilization,
+                )
+            ],
+            title="conv4 pipeline stage utilization (DAC-bound regime)",
+        )
+    )
+    assert result.stage_utilization[1] > 0.95   # DACs saturated.
+    assert result.stage_utilization[2] < 0.05   # Optics nearly idle.

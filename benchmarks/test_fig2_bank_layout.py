@@ -1,0 +1,62 @@
+"""Fig. 2 — MRR bank for a 16x16 input and five 3x3 kernels, with and
+without receptive-field filtering.
+
+The figure's point is visual: filtering shrinks each kernel's bank from
+one-ring-per-input-value (256) to one-ring-per-receptive-field-value (9).
+This benchmark regenerates the counts and the functional behaviour: the
+filtered bank computes the same convolution output.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core.accelerator import PhotonicConvolution
+from repro.core.mapping import fig2_ring_counts, map_layer
+from repro.nn import functional as F
+from repro.nn.shapes import ConvLayerSpec
+
+
+def test_fig2_ring_counts(benchmark):
+    """Regenerate the Fig. 2 ring-count comparison."""
+    counts = benchmark(fig2_ring_counts)
+    emit(
+        format_table(
+            ["variant", "rings per kernel", "total rings (5 kernels)"],
+            [
+                ["(a) not filtered", counts.rings_per_kernel_unfiltered,
+                 counts.total_unfiltered],
+                ["(b) filtered", counts.rings_per_kernel_filtered,
+                 counts.total_filtered],
+            ],
+            title="Fig. 2: 16x16 input feature map, five 3x3 kernels",
+        )
+    )
+    assert counts.rings_per_kernel_unfiltered == 256
+    assert counts.rings_per_kernel_filtered == 9
+    assert counts.total_filtered == 45
+
+
+def test_fig2_mapping_objects(benchmark):
+    """The layer mapping materializes the same counts."""
+    spec = ConvLayerSpec("fig2", n=16, m=3, nc=1, num_kernels=5)
+    mapping = benchmark(map_layer, spec)
+    assert mapping.rings_per_bank == 9
+    assert mapping.total_rings == 45
+    assert len(mapping.banks) == 5
+
+
+def test_fig2_filtered_bank_computes_the_convolution(benchmark):
+    """Filtering loses nothing: the 9-ring banks produce the exact conv."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(1, 16, 16))
+    k = rng.normal(size=(5, 1, 3, 3))
+    engine = PhotonicConvolution(method="device")
+
+    photonic = benchmark.pedantic(
+        engine.convolve, args=(x, k), rounds=1, iterations=1
+    )
+    reference = F.conv2d(x, k)
+    max_err = float(np.max(np.abs(photonic - reference)))
+    emit(f"Fig. 2 functional check: photonic vs reference max |error| = {max_err:.2e}")
+    assert max_err < 1e-9

@@ -1,0 +1,86 @@
+"""Fig. 5 — microrings per AlexNet conv layer, Filtered vs Not-Filtered.
+
+Regenerates the figure's two series from equations (4) and (5), checks
+the paper's worked examples (conv1: 5.2 B -> ~35 K, a >150 000x saving;
+conv4 bank: 3456 rings = 2.2 mm^2), and prints the log-scale chart.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_count, format_table, log_bar_chart
+from repro.core.analytical import (
+    bank_area_mm2,
+    microrings_filtered,
+    microrings_unfiltered,
+    ring_savings_factor,
+    rings_per_kernel_bank,
+)
+
+
+def test_fig5_ring_counts(benchmark, alexnet_specs):
+    """Regenerate Fig. 5's Filtered / Not-Filtered series."""
+
+    def compute_series():
+        return {
+            spec.name: (microrings_unfiltered(spec), microrings_filtered(spec))
+            for spec in alexnet_specs
+        }
+
+    series = benchmark(compute_series)
+    names = list(series)
+    emit(
+        log_bar_chart(
+            {
+                "Not-Filtered": [series[n][0] for n in names],
+                "Filtered": [series[n][1] for n in names],
+            },
+            names,
+            title="Fig. 5: microrings per AlexNet conv layer",
+            unit="rings",
+        )
+    )
+    emit(
+        format_table(
+            ["layer", "Not-Filtered (eq. 4)", "Filtered (eq. 5)", "savings"],
+            [
+                [
+                    name,
+                    format_count(series[name][0]),
+                    format_count(series[name][1]),
+                    f"{series[name][0] / series[name][1]:,.0f}x",
+                ]
+                for name in names
+            ],
+            title="Fig. 5 data",
+        )
+    )
+
+    # Paper's worked numbers.
+    assert series["conv1"][0] == pytest.approx(5.2e9, rel=1e-2)
+    assert series["conv1"][1] == 34_848
+    # Filtering always wins by the Ninput factor.
+    for name in names:
+        assert series[name][0] == series[name][1] * dict(
+            (spec.name, spec.n_input) for spec in alexnet_specs
+        )[name]
+
+
+def test_fig5_conv1_savings_factor(benchmark, alexnet_specs):
+    """Paper: 'a saving of more than 150k x' on conv1."""
+    conv1 = alexnet_specs[0]
+    savings = benchmark(ring_savings_factor, conv1)
+    emit(f"conv1 ring saving from receptive-field filtering: {savings:,.0f}x")
+    assert savings > 150_000
+
+
+def test_fig5_conv4_bank_area(benchmark, alexnet_specs):
+    """Paper: conv4's 3456-ring bank occupies ~2.2 mm^2."""
+    conv4 = alexnet_specs[3]
+
+    def bank_area():
+        return bank_area_mm2(rings_per_kernel_bank(conv4))
+
+    area = benchmark(bank_area)
+    emit(f"conv4 single-bank area: {area:.2f} mm^2 (paper: 2.2 mm^2)")
+    assert area == pytest.approx(2.2, rel=0.05)

@@ -1,0 +1,133 @@
+"""Fig. 6 — per-layer AlexNet execution time: PCNNA(O), PCNNA(O+E),
+Eyeriss, YodaNN.
+
+Regenerates all four series:
+
+* PCNNA(O)   — eq. 7, the optical core at 5 GHz;
+* PCNNA(O+E) — the DAC-bound full system (eq. 8), cross-checked against
+  the cycle-level simulator;
+* Eyeriss    — the published per-layer chip measurements (per image);
+* YodaNN     — the binary-weight throughput model.
+
+Asserts the paper's conclusions: the optical core reaches >= 5 orders of
+magnitude over Eyeriss and the full system >= 3 orders, with the
+orderings holding on every layer.
+"""
+
+import math
+
+import pytest
+from conftest import emit
+
+from repro.analysis import (
+    format_orders_of_magnitude,
+    format_table,
+    format_time,
+    log_bar_chart,
+)
+from repro.baselines import YodaNNModel, published_layer_time_s
+from repro.core.analytical import full_system_time_s, optical_core_time_s
+from repro.core.config import paper_assumptions
+from repro.core.timing import simulate_network
+
+
+def test_fig6_execution_times(benchmark, alexnet_specs):
+    """Regenerate Fig. 6's four series."""
+    yodann = YodaNNModel()
+
+    def compute_series():
+        return {
+            "PCNNA(O)": [optical_core_time_s(s) for s in alexnet_specs],
+            "PCNNA(O+E)": [full_system_time_s(s) for s in alexnet_specs],
+            "YodaNN": [yodann.layer_time_s(s) for s in alexnet_specs],
+            "Eyeriss": [published_layer_time_s(s.name) for s in alexnet_specs],
+        }
+
+    series = benchmark(compute_series)
+    names = [s.name for s in alexnet_specs]
+    emit(
+        log_bar_chart(
+            series, names, title="Fig. 6: AlexNet conv execution time", unit="s"
+        )
+    )
+    emit(
+        format_table(
+            ["layer"] + list(series),
+            [
+                [name] + [format_time(series[key][i]) for key in series]
+                for i, name in enumerate(names)
+            ],
+            title="Fig. 6 data",
+        )
+    )
+
+    for i, name in enumerate(names):
+        # Ordering on every layer: PCNNA(O) < PCNNA(O+E) < YodaNN < Eyeriss.
+        assert series["PCNNA(O)"][i] <= series["PCNNA(O+E)"][i], name
+        assert series["PCNNA(O+E)"][i] < series["YodaNN"][i], name
+        assert series["YodaNN"][i] < series["Eyeriss"][i], name
+
+
+def test_fig6_headline_speedups(benchmark, alexnet_specs):
+    """Paper: up to 5 orders (optical core), > 3 orders (full system)."""
+
+    def compute_speedups():
+        optical = max(
+            published_layer_time_s(s.name) / optical_core_time_s(s)
+            for s in alexnet_specs
+        )
+        full = max(
+            published_layer_time_s(s.name) / full_system_time_s(s)
+            for s in alexnet_specs
+        )
+        return optical, full
+
+    optical, full = benchmark(compute_speedups)
+    emit(
+        "Peak speedup vs Eyeriss:\n"
+        f"  optical core PCNNA(O):  {optical:,.0f}x "
+        f"({format_orders_of_magnitude(optical)})\n"
+        f"  full system PCNNA(O+E): {full:,.0f}x "
+        f"({format_orders_of_magnitude(full)})"
+    )
+    assert optical >= 1e5
+    assert full >= 1e3
+
+
+def test_fig6_cycle_simulator_cross_check(benchmark, alexnet_specs):
+    """The cycle-level simulator reproduces the PCNNA(O+E) series within
+    the documented slack (row-start refills, per-DAC ceiling)."""
+    results = benchmark.pedantic(
+        simulate_network,
+        args=(alexnet_specs, paper_assumptions()),
+        kwargs={"include_adc": False},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["layer", "analytical (paper)", "cycle simulator", "ratio"],
+            [
+                [
+                    r.name,
+                    format_time(r.analytical_full_s),
+                    format_time(r.pipelined_time_s),
+                    f"{r.analytical_agreement:.3f}",
+                ]
+                for r in results
+            ],
+            title="Fig. 6 cross-check: eq. 8 vs cycle-level simulation",
+        )
+    )
+    for result in results:
+        assert 1.0 <= result.analytical_agreement < 1.25, result.name
+
+
+def test_fig6_optical_core_times_match_paper(benchmark, alexnet_specs):
+    """Eq. 7 at 5 GHz: 605 / 145.8 / 33.8 / 33.8 / 33.8 ns."""
+    expected_ns = [605.0, 145.8, 33.8, 33.8, 33.8]
+    times = benchmark(
+        lambda: [optical_core_time_s(s) * 1e9 for s in alexnet_specs]
+    )
+    for time_ns, expected in zip(times, expected_ns):
+        assert time_ns == pytest.approx(expected, rel=1e-2)

@@ -1,0 +1,69 @@
+"""Microbenchmarks of the simulation engines themselves.
+
+Not a paper artifact: these track the reproduction's own performance so
+regressions in the device simulation or the functional conv engine are
+visible (the device path simulates every ring, laser, and detector).
+"""
+
+import numpy as np
+
+from repro.core.accelerator import PhotonicConvolution
+from repro.core.scheduler import LayerSchedule
+from repro.core.timing import simulate_layer
+from repro.core.config import paper_assumptions
+from repro.photonics.broadcast_weight import BroadcastAndWeightLayer
+from repro.workloads import alexnet_layer
+
+
+def test_perf_photonic_mac_wave(benchmark):
+    """One optical MAC wave: 27-input receptive field, 8 kernels."""
+    rng = np.random.default_rng(0)
+    layer = BroadcastAndWeightLayer(27, 8)
+    layer.set_weight_matrix(rng.uniform(-1, 1, (8, 27)))
+    x = rng.uniform(0, 1, 27)
+    result = benchmark(layer.compute, x)
+    assert result.shape == (8,)
+
+
+def test_perf_functional_conv_matrix(benchmark):
+    """Matrix-mode photonic conv on a 32x32x8 input, 16 kernels."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(8, 32, 32))
+    k = rng.normal(size=(16, 8, 3, 3))
+    engine = PhotonicConvolution(method="matrix")
+    out = benchmark(engine.convolve, x, k)
+    assert out.shape == (16, 30, 30)
+
+
+def test_perf_functional_conv_device(benchmark):
+    """Device-mode photonic conv on a small layer (full device stack)."""
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(2, 10, 10))
+    k = rng.normal(size=(4, 2, 3, 3))
+    engine = PhotonicConvolution(method="device")
+    out = benchmark.pedantic(engine.convolve, args=(x, k), rounds=2, iterations=1)
+    assert out.shape == (4, 8, 8)
+
+
+def test_perf_scheduler_conv1(benchmark):
+    """Schedule generation for the largest-location AlexNet layer."""
+    spec = alexnet_layer("conv1")
+
+    def build_and_walk():
+        schedule = LayerSchedule(spec)
+        return schedule.total_values_loaded()
+
+    total = benchmark.pedantic(build_and_walk, rounds=2, iterations=1)
+    assert total > 0
+
+
+def test_perf_cycle_sim_conv3(benchmark):
+    """Cycle-level simulation of AlexNet conv3."""
+    spec = alexnet_layer("conv3")
+    result = benchmark.pedantic(
+        simulate_layer,
+        args=(spec, paper_assumptions()),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.pipelined_time_s > 0

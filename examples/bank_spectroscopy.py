@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Weight-bank spectroscopy: look at the optics behind the math.
+
+Programs a small MRR weight bank with a weight vector, sweeps a virtual
+tunable laser across the WDM grid, and plots the aggregate drop-bus
+spectrum — the measurement a photonics lab would do to verify the bank.
+Then it quantifies adjacent-channel isolation as a function of ring
+quality factor, the device-level origin of the crosstalk ablation.
+
+Run:  python examples/bank_spectroscopy.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_line_plot, format_table
+from repro.photonics import (
+    MicroringDesign,
+    WdmGrid,
+    WeightBank,
+    channel_isolation_db,
+    ideal,
+    sweep_bank_spectrum,
+)
+
+
+def main() -> None:
+    weights = np.array([1.0, 0.25, -0.5, 0.75])
+    grid = WdmGrid(num_channels=4)
+    bank = WeightBank(grid, MicroringDesign(quality_factor=20_000), ideal())
+    bank.set_weights(weights)
+
+    print(f"programmed weights: {weights.tolist()}")
+    print(
+        "ring drop fractions (d = (1+w)/2):",
+        [f"{(1 + w) / 2:.3f}" for w in weights],
+    )
+
+    spectrum = sweep_bank_spectrum(bank, span_factor=1.4, num_points=800)
+    offsets_ghz = (spectrum.frequencies_hz - grid.center_frequency_hz) / 1e9
+    print()
+    print(
+        ascii_line_plot(
+            offsets_ghz.tolist(),
+            spectrum.drop.tolist(),
+            title="aggregate drop-bus spectrum (4-ring bank, Q = 20k, "
+            "100 GHz grid)",
+            x_label="offset from grid center (GHz)",
+            y_label="drop fraction",
+        )
+    )
+    print(
+        "\nEach Lorentzian is one ring; the weight is set by how far the"
+        "\nring's resonance is parked from its channel (the grid points at"
+        "\n-150/-50/+50/+150 GHz), not by the peak height: weight +1 sits"
+        "\nexactly on channel, weight -1 far off channel."
+    )
+
+    rows = []
+    for q in (2_000, 8_000, 32_000, 128_000):
+        test_bank = WeightBank(grid, MicroringDesign(quality_factor=q), ideal())
+        rows.append([q, f"{channel_isolation_db(test_bank):.1f} dB"])
+    print()
+    print(
+        format_table(
+            ["quality factor", "adjacent-channel isolation"],
+            rows,
+            title="why crosstalk falls with Q (fully-on bank, 100 GHz spacing)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Photonic non-idealities vs. convolution accuracy.
+
+The paper treats the optical MAC as exact; this example quantifies how
+far that holds by running the same convolution through the full device
+simulation under each non-ideality:
+
+* ring-tuning error (heater DAC resolution / thermal drift),
+* inter-channel crosstalk as a function of ring quality factor,
+* receiver shot + thermal noise,
+* DAC/ADC quantization,
+* everything together ("realistic" configuration).
+
+Run:  python examples/noise_robustness.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.config import PCNNAConfig
+from repro.core.validation import compare_photonic_reference
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.noise import NoiseConfig, realistic
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    feature_map = rng.normal(size=(2, 10, 10))
+    kernels = rng.normal(size=(4, 2, 3, 3))
+
+    rows = []
+
+    # Ideal baseline.
+    report = compare_photonic_reference(feature_map, kernels, method="device")
+    rows.append(["ideal device path", f"{report.max_rel_error:.2e}"])
+
+    # Ring-tuning error sweep.
+    for sigma in (1e-4, 1e-3, 1e-2):
+        config = PCNNAConfig(
+            noise=NoiseConfig(
+                enabled=True, shot_noise=False, thermal_noise=False,
+                ring_tuning_sigma=sigma, seed=1,
+            )
+        )
+        report = compare_photonic_reference(feature_map, kernels, config=config)
+        rows.append([f"tuning error sigma={sigma:g}", f"{report.max_rel_error:.2e}"])
+
+    # Crosstalk vs quality factor.
+    for q in (4_000, 16_000, 64_000):
+        config = PCNNAConfig(
+            ring_design=MicroringDesign(quality_factor=q),
+            noise=NoiseConfig(
+                enabled=True, shot_noise=False, thermal_noise=False,
+                crosstalk=True, seed=2,
+            ),
+        )
+        report = compare_photonic_reference(feature_map, kernels, config=config)
+        rows.append([f"crosstalk, Q={q}", f"{report.max_rel_error:.2e}"])
+
+    # Receiver noise.
+    config = PCNNAConfig(noise=NoiseConfig(enabled=True, seed=3))
+    report = compare_photonic_reference(feature_map, kernels, config=config)
+    rows.append(["shot + thermal noise", f"{report.max_rel_error:.2e}"])
+
+    # Converter quantization.
+    report = compare_photonic_reference(feature_map, kernels, quantize=True)
+    rows.append(["16b DAC + 12b ADC", f"{report.max_rel_error:.2e}"])
+
+    # Everything at once.
+    config = PCNNAConfig(noise=realistic(seed=4))
+    report = compare_photonic_reference(
+        feature_map, kernels, config=config, quantize=True
+    )
+    rows.append(["realistic (all effects)", f"{report.max_rel_error:.2e}"])
+
+    print(
+        format_table(
+            ["configuration", "max relative conv error"],
+            rows,
+            title="Photonic non-idealities vs convolution accuracy "
+            "(2x10x10 input, 4 kernels 3x3)",
+        )
+    )
+    print(
+        "\nTakeaways: tuning error and crosstalk dominate; crosstalk falls"
+        "\nwith ring Q (narrower linewidth on the 100 GHz grid); converter"
+        "\nquantization is negligible at the paper's 16-bit resolution."
+    )
+
+
+if __name__ == "__main__":
+    main()

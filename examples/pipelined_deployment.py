@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Deployment study: from the paper's single core to a serving system.
+
+The paper evaluates one PCNNA core on one image.  A deployment cares
+about sustained throughput; this example walks the three levers the
+library models:
+
+1. **batching** on one core — amortizes the once-per-layer weight load
+   (which dominates single-image latency);
+2. **inter-layer pipelining** over several cores — weight-stationary,
+   bounded by the slowest layer slice;
+3. **pruning** — trades conv accuracy for rings, heater power, and area.
+
+Run:  python examples/pipelined_deployment.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_count, format_table, format_time
+from repro.core.batching import network_batch_timing, weight_stationary_crossover
+from repro.core.multicore import balanced_partition, pipeline_speedup
+from repro.core.pruning import sparse_mapping_report, threshold_for_sparsity
+from repro.workloads import alexnet_conv_specs
+
+
+def main() -> None:
+    specs = alexnet_conv_specs()
+
+    # --- lever 1: batching on one core ---------------------------------
+    crossover = weight_stationary_crossover(specs)
+    rows = []
+    for batch in (1, crossover, 256):
+        timing = network_batch_timing(specs, batch)
+        rows.append(
+            [
+                batch,
+                format_time(timing.per_image_s),
+                f"{timing.images_per_s:,.0f} img/s",
+                f"{timing.weight_load_fraction:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["batch", "per-image latency", "throughput", "weight-load share"],
+            rows,
+            title=f"1) single core + batching (crossover batch = {crossover})",
+        )
+    )
+
+    # --- lever 2: pipeline over cores ------------------------------------
+    rows = []
+    for cores in range(1, len(specs) + 1):
+        partition = balanced_partition(specs, cores)
+        layer_names = [
+            "+".join(spec.name for spec in specs[start:end])
+            for start, end in partition.slices
+        ]
+        rows.append(
+            [
+                cores,
+                f"{partition.images_per_s:,.0f} img/s",
+                f"{pipeline_speedup(specs, cores):.2f}x",
+                " | ".join(layer_names),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["cores", "throughput", "speedup", "layer assignment"],
+            rows,
+            title="2) weight-stationary pipeline over PCNNA cores",
+        )
+    )
+    print(
+        "   conv1's DAC-bound 6.7 us slice caps the speedup — the paper's\n"
+        "   flat-in-K scaling does not help an imbalanced pipeline."
+    )
+
+    # --- lever 3: pruning ----------------------------------------------
+    rng = np.random.default_rng(0)
+    conv4_weights = rng.normal(0.0, 0.1, size=(384, 384, 3, 3))
+    rows = []
+    for sparsity in (0.0, 0.5, 0.9):
+        threshold = threshold_for_sparsity(conv4_weights, sparsity)
+        report = sparse_mapping_report(conv4_weights, threshold)
+        rows.append(
+            [
+                f"{sparsity:.0%}",
+                format_count(report.active_rings),
+                f"{report.tuning_power_saved_w:,.0f} W",
+                f"{report.rings_area_saved_mm2:,.0f} mm^2",
+                f"{report.energy_retained:.1%}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["pruned", "rings live", "heater power saved", "area saved",
+             "weight energy kept"],
+            rows,
+            title="3) magnitude pruning of conv4's 1.33 M rings",
+        )
+    )
+    print(
+        "   At 90 % sparsity conv4 fits in ~133 K rings (83 mm^2 of rings\n"
+        "   instead of 829 mm^2) and sheds ~1.2 kW of heater power."
+    )
+
+
+if __name__ == "__main__":
+    main()

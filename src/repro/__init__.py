@@ -1,0 +1,41 @@
+"""PCNNA: A Photonic Convolutional Neural Network Accelerator — reproduction.
+
+A full Python reproduction of Mehrabian, Al-Kabani, Sorger & El-Ghazawi,
+"PCNNA: A Photonic Convolutional Neural Network Accelerator" (SOCC 2018,
+arXiv:1807.08792), including:
+
+* :mod:`repro.photonics` — microring resonators, WDM weight banks, and
+  the broadcast-and-weight protocol the design rests on;
+* :mod:`repro.electronics` — the DAC/ADC/SRAM/DRAM periphery and the
+  dual-clock architecture;
+* :mod:`repro.nn` — a from-scratch NumPy CNN inference engine;
+* :mod:`repro.core` — the paper's contribution: receptive-field-filtered
+  MRR mapping, the analytical framework (ring counts, area, execution
+  time), a cycle-level timing simulator, and a functional photonic
+  convolution engine validated against the NumPy reference;
+* :mod:`repro.baselines` — Eyeriss and YodaNN comparison models;
+* :mod:`repro.workloads` / :mod:`repro.analysis` — the paper's AlexNet
+  table, extension suites, and reporting utilities.
+
+Quickstart::
+
+    from repro import PCNNA
+    from repro.workloads import alexnet_conv_specs
+
+    accelerator = PCNNA()
+    for spec in alexnet_conv_specs():
+        analysis = accelerator.analyze_layer(spec)
+        print(spec.name, analysis.rings_filtered, analysis.optical_time_s)
+"""
+
+from repro.core import PAPER_CONFIG, PCNNA, PCNNAConfig, PhotonicConvolution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_CONFIG",
+    "PCNNA",
+    "PCNNAConfig",
+    "PhotonicConvolution",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Result analysis: table/figure rendering and design-space sweeps."""
+
+from repro.analysis.export import results_to_json, series_to_csv, write_text
+from repro.analysis.figures import ascii_line_plot, log_bar_chart
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_fast_clock,
+    sweep_kernel_count,
+    sweep_num_dacs,
+    sweep_stride,
+)
+from repro.analysis.tables import (
+    format_count,
+    format_orders_of_magnitude,
+    format_quantity,
+    format_table,
+    format_time,
+)
+
+__all__ = [
+    "results_to_json",
+    "series_to_csv",
+    "write_text",
+    "ascii_line_plot",
+    "log_bar_chart",
+    "SweepPoint",
+    "sweep_fast_clock",
+    "sweep_kernel_count",
+    "sweep_num_dacs",
+    "sweep_stride",
+    "format_count",
+    "format_orders_of_magnitude",
+    "format_quantity",
+    "format_table",
+    "format_time",
+]

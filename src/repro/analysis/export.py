@@ -1,0 +1,85 @@
+"""Export benchmark/analysis results to CSV and JSON.
+
+Downstream users typically re-plot the reproduced figures with their own
+tooling; these helpers serialize the per-layer series the benchmarks
+compute into portable formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+
+def series_to_csv(
+    series: Mapping[str, Sequence[float]],
+    categories: Sequence[str],
+    category_header: str = "layer",
+) -> str:
+    """Render {series-name: values} keyed by category into CSV text.
+
+    Args:
+        series: mapping of column name to per-category values.
+        categories: row labels (e.g. layer names).
+        category_header: header for the label column.
+
+    Raises:
+        ValueError: if any series length mismatches the categories.
+    """
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([category_header] + list(series))
+    for index, category in enumerate(categories):
+        writer.writerow(
+            [category] + [repr(series[name][index]) for name in series]
+        )
+    return buffer.getvalue()
+
+
+def results_to_json(results: Sequence[object], indent: int = 2) -> str:
+    """Serialize a list of result dataclasses (or dicts) to JSON text.
+
+    Dataclass fields that are themselves dataclasses (e.g. the spec
+    inside a LayerAnalysis) are recursively expanded; NumPy scalars are
+    coerced to Python numbers.
+    """
+
+    def coerce(value):
+        if is_dataclass(value) and not isinstance(value, type):
+            return {key: coerce(val) for key, val in asdict(value).items()}
+        if isinstance(value, Mapping):
+            return {key: coerce(val) for key, val in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [coerce(item) for item in value]
+        if hasattr(value, "item") and callable(value.item):
+            try:
+                return value.item()
+            except (TypeError, ValueError):
+                return str(value)
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return str(value)
+
+    return json.dumps([coerce(result) for result in results], indent=indent)
+
+
+def write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` (creating parent directories).
+
+    Returns:
+        The resolved path written.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return target

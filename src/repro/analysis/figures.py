@@ -1,0 +1,137 @@
+"""ASCII figure rendering (log-scale bar charts) for benchmark output.
+
+The paper's Fig. 5 and Fig. 6 are log-scale bar charts; the benchmark
+harness reprints their data as text bars so the "shape" of each figure
+(who wins, by how many decades) is visible directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def ascii_line_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    title: str = "",
+    height: int = 12,
+    width: int = 70,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a single (x, y) series as an ASCII scatter/line plot.
+
+    Args:
+        x: abscissa values (need not be uniform).
+        y: ordinate values, same length as ``x``.
+        title: plot title.
+        height: plot rows.
+        width: plot columns.
+        x_label: x-axis caption.
+        y_label: y-axis caption.
+
+    Returns:
+        The rendered multi-line string.
+
+    Raises:
+        ValueError: on length mismatch or fewer than two points.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} x vs {len(y)} y")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    if height < 2 or width < 2:
+        raise ValueError("plot must be at least 2x2")
+
+    x_min, x_max = min(x), max(x)
+    y_min, y_max = min(y), max(y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int(round((xi - x_min) / x_span * (width - 1)))
+        row = int(round((yi - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    margin = max(len(top_label), len(bottom_label))
+    for index, row_chars in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(margin)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    axis = f"{x_min:.3g}".ljust(width - 8) + f"{x_max:.3g}".rjust(8)
+    lines.append(" " * margin + "  " + axis)
+    if x_label or y_label:
+        lines.append(
+            " " * margin + f"  x: {x_label}" + (f"   y: {y_label}" if y_label else "")
+        )
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    series: Mapping[str, Sequence[float]],
+    categories: Sequence[str],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render grouped log-scale horizontal bars.
+
+    Args:
+        series: mapping of series name to per-category values (all > 0).
+        categories: category labels (e.g. layer names), one per value.
+        title: chart title.
+        width: maximum bar width in characters.
+        unit: unit label appended to values.
+
+    Returns:
+        The rendered multi-line string.
+
+    Raises:
+        ValueError: if values are non-positive or lengths mismatch.
+    """
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+        if any(value <= 0 for value in values):
+            raise ValueError(f"log chart requires positive values in {name!r}")
+
+    all_values = [value for values in series.values() for value in values]
+    log_min = math.floor(math.log10(min(all_values)))
+    log_max = math.ceil(math.log10(max(all_values)))
+    log_span = max(log_max - log_min, 1)
+
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for index, category in enumerate(categories):
+        lines.append(f"{category}:")
+        for name, values in series.items():
+            value = values[index]
+            filled = int(
+                round((math.log10(value) - log_min) / log_span * width)
+            )
+            filled = max(filled, 1)
+            bar = "#" * filled
+            label = f"{value:.3g}{(' ' + unit) if unit else ''}"
+            lines.append(f"  {name.ljust(name_width)} |{bar} {label}")
+    lines.append(
+        f"(log scale: 1e{log_min} .. 1e{log_max}{(' ' + unit) if unit else ''})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Design-space parameter sweeps (extension / ablation experiments).
+
+The paper's analytical framework makes several design parameters
+explicit; these sweeps quantify their impact:
+
+* input-DAC count — the eq. 8 bottleneck scales as 1/N_DAC until the
+  optical clock floor;
+* fast-clock frequency — the eq. 7 optical-core scaling;
+* stride — eq. 8's front-end load is proportional to s;
+* kernel count — PCNNA's headline property: layer time is flat in K
+  while ring count grows linearly (paper section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.analytical import (
+    full_system_time_s,
+    microrings_filtered,
+    optical_core_time_s,
+)
+from repro.core.config import PCNNAConfig
+from repro.nn.shapes import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a 1-D design sweep.
+
+    Attributes:
+        parameter: the swept value.
+        optical_time_s: eq. 7 layer time at this point.
+        full_system_time_s: DAC-bound layer time at this point.
+        rings: filtered ring count at this point.
+    """
+
+    parameter: float
+    optical_time_s: float
+    full_system_time_s: float
+    rings: int
+
+
+def sweep_num_dacs(
+    spec: ConvLayerSpec,
+    dac_counts: list[int],
+    config: PCNNAConfig | None = None,
+) -> list[SweepPoint]:
+    """Sweep the input-DAC count (the paper's N_DAC = 10 choice)."""
+    cfg = config if config is not None else PCNNAConfig()
+    points = []
+    for count in dac_counts:
+        swept = cfg.with_dacs(count)
+        points.append(
+            SweepPoint(
+                parameter=float(count),
+                optical_time_s=optical_core_time_s(spec, swept),
+                full_system_time_s=full_system_time_s(spec, swept),
+                rings=microrings_filtered(spec),
+            )
+        )
+    return points
+
+
+def sweep_fast_clock(
+    spec: ConvLayerSpec,
+    clocks_hz: list[float],
+    config: PCNNAConfig | None = None,
+) -> list[SweepPoint]:
+    """Sweep the optical-core clock (the paper's 5 GHz choice)."""
+    cfg = config if config is not None else PCNNAConfig()
+    points = []
+    for clock in clocks_hz:
+        swept = cfg.with_fast_clock(clock)
+        points.append(
+            SweepPoint(
+                parameter=clock,
+                optical_time_s=optical_core_time_s(spec, swept),
+                full_system_time_s=full_system_time_s(spec, swept),
+                rings=microrings_filtered(spec),
+            )
+        )
+    return points
+
+
+def sweep_stride(
+    spec: ConvLayerSpec,
+    strides: list[int],
+    config: PCNNAConfig | None = None,
+) -> list[SweepPoint]:
+    """Sweep the layer stride (eq. 8's front-end load is linear in s)."""
+    cfg = config if config is not None else PCNNAConfig()
+    points = []
+    for stride in strides:
+        swept_spec = replace(spec, s=stride)
+        points.append(
+            SweepPoint(
+                parameter=float(stride),
+                optical_time_s=optical_core_time_s(swept_spec, cfg),
+                full_system_time_s=full_system_time_s(swept_spec, cfg),
+                rings=microrings_filtered(swept_spec),
+            )
+        )
+    return points
+
+
+def sweep_kernel_count(
+    spec: ConvLayerSpec,
+    kernel_counts: list[int],
+    config: PCNNAConfig | None = None,
+) -> list[SweepPoint]:
+    """Sweep K — time should stay flat while rings grow linearly."""
+    cfg = config if config is not None else PCNNAConfig()
+    points = []
+    for count in kernel_counts:
+        swept_spec = replace(spec, num_kernels=count)
+        points.append(
+            SweepPoint(
+                parameter=float(count),
+                optical_time_s=optical_core_time_s(swept_spec, cfg),
+                full_system_time_s=full_system_time_s(swept_spec, cfg),
+                rings=microrings_filtered(swept_spec),
+            )
+        )
+    return points

@@ -1,0 +1,113 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness prints the paper's tables and figure data as
+aligned text tables; this module is the one formatter they share.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Args:
+        headers: column headers.
+        rows: row cells; each row must have ``len(headers)`` entries.
+        title: optional title line above the table.
+
+    Returns:
+        The rendered multi-line string.
+
+    Raises:
+        ValueError: if any row has the wrong number of cells.
+    """
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: "
+                f"{row!r}"
+            )
+        str_rows.append([_format_cell(cell) for cell in row])
+
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    """Format one table cell."""
+    if isinstance(cell, float):
+        return format_quantity(cell)
+    return str(cell)
+
+
+def format_quantity(value: float, digits: int = 3) -> str:
+    """Format a float compactly: fixed for mid-range, scientific outside."""
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    if 1e-3 <= magnitude < 1e6:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits - 1}e}"
+
+
+_TIME_UNITS = [(1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns"), (1e-12, "ps")]
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable time with an auto-selected unit.
+
+    Raises:
+        ValueError: if ``seconds`` is negative.
+    """
+    if seconds < 0:
+        raise ValueError(f"time must be non-negative, got {seconds!r}")
+    if seconds == 0.0:
+        return "0 s"
+    for scale, unit in _TIME_UNITS:
+        if seconds >= scale:
+            return f"{seconds / scale:.3g} {unit}"
+    return f"{seconds / 1e-12:.3g} ps"
+
+
+def format_count(value: float) -> str:
+    """Human-readable count with K/M/B suffixes."""
+    magnitude = abs(value)
+    for scale, suffix in [(1e9, "B"), (1e6, "M"), (1e3, "K")]:
+        if magnitude >= scale:
+            return f"{value / scale:.3g} {suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def format_orders_of_magnitude(ratio: float) -> str:
+    """Express a speedup as 'N.N orders of magnitude'.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio!r}")
+    return f"{math.log10(ratio):.1f} orders of magnitude"

@@ -1,0 +1,33 @@
+"""Electronic baseline models for the paper's Fig. 6 comparison."""
+
+from repro.baselines.cpu_gpu import DATACENTER_GPU, DESKTOP_CPU, RooflineDevice
+from repro.baselines.eyeriss import (
+    EYERISS_BATCH_SIZE,
+    EYERISS_CLOCK_HZ,
+    EYERISS_NUM_PES,
+    PUBLISHED_ALEXNET_LAYER_TIMES_S,
+    EyerissModel,
+    published_layer_time_s,
+)
+from repro.baselines.yodann import (
+    YODANN_CLOCK_HZ,
+    YODANN_MACS_PER_UNIT,
+    YODANN_NUM_SOP_UNITS,
+    YodaNNModel,
+)
+
+__all__ = [
+    "DATACENTER_GPU",
+    "DESKTOP_CPU",
+    "RooflineDevice",
+    "EYERISS_BATCH_SIZE",
+    "EYERISS_CLOCK_HZ",
+    "EYERISS_NUM_PES",
+    "PUBLISHED_ALEXNET_LAYER_TIMES_S",
+    "EyerissModel",
+    "published_layer_time_s",
+    "YODANN_CLOCK_HZ",
+    "YODANN_MACS_PER_UNIT",
+    "YODANN_NUM_SOP_UNITS",
+    "YodaNNModel",
+]

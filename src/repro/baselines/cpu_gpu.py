@@ -1,0 +1,82 @@
+"""Roofline-style CPU/GPU reference models.
+
+Not part of the paper's Fig. 6, but useful context in the examples and
+extension benchmarks: a general-purpose device's conv latency is the
+maximum of its compute-bound and memory-bound times (the roofline model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.shapes import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class RooflineDevice:
+    """A compute device characterized by peak FLOPS and memory bandwidth.
+
+    Attributes:
+        name: device label.
+        peak_macs_per_s: peak MAC throughput.
+        memory_bandwidth_bytes_per_s: peak DRAM bandwidth.
+        bytes_per_value: working-set bytes per tensor element.
+        compute_efficiency: fraction of peak compute achievable on conv.
+    """
+
+    name: str
+    peak_macs_per_s: float
+    memory_bandwidth_bytes_per_s: float
+    bytes_per_value: int = 4
+    compute_efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.peak_macs_per_s <= 0:
+            raise ValueError(
+                f"peak throughput must be positive, got {self.peak_macs_per_s!r}"
+            )
+        if self.memory_bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                "memory bandwidth must be positive, got "
+                f"{self.memory_bandwidth_bytes_per_s!r}"
+            )
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {self.compute_efficiency!r}"
+            )
+
+    def layer_bytes(self, spec: ConvLayerSpec) -> int:
+        """Bytes moved for one layer: input + weights + output, once each."""
+        values = spec.n_input + spec.total_weights + spec.n_output
+        return values * self.bytes_per_value
+
+    def compute_time_s(self, spec: ConvLayerSpec) -> float:
+        """Compute-bound layer time (s)."""
+        return spec.macs / (self.peak_macs_per_s * self.compute_efficiency)
+
+    def memory_time_s(self, spec: ConvLayerSpec) -> float:
+        """Memory-bound layer time (s)."""
+        return self.layer_bytes(spec) / self.memory_bandwidth_bytes_per_s
+
+    def layer_time_s(self, spec: ConvLayerSpec) -> float:
+        """Roofline layer time: max(compute, memory) (s)."""
+        return max(self.compute_time_s(spec), self.memory_time_s(spec))
+
+    def network_time_s(self, specs: list[ConvLayerSpec]) -> float:
+        """Sum of roofline layer times (s)."""
+        return sum(self.layer_time_s(spec) for spec in specs)
+
+
+DESKTOP_CPU = RooflineDevice(
+    name="desktop-cpu",
+    peak_macs_per_s=200e9,
+    memory_bandwidth_bytes_per_s=40e9,
+)
+"""A 2018-era desktop CPU (AVX2-class, ~0.4 TFLOPS fp32)."""
+
+DATACENTER_GPU = RooflineDevice(
+    name="datacenter-gpu",
+    peak_macs_per_s=6e12,
+    memory_bandwidth_bytes_per_s=700e9,
+)
+"""A 2018-era datacenter GPU (~12 TFLOPS fp32)."""

@@ -1,0 +1,122 @@
+"""Eyeriss baseline model (Chen et al., ISCA/ISSCC 2016, JSSC 2017).
+
+Eyeriss is the primary electronic comparison point of the paper's Fig. 6.
+Two latency models are provided:
+
+* :func:`published_layer_time_s` — the per-layer AlexNet processing
+  times measured on the Eyeriss chip (JSSC 2017, Table V: 20.9 / 41.9 /
+  23.6 / 18.4 / 10.5 ms for a batch of 4), normalized per image.  This is
+  what a reader of the PCNNA paper would compare against, so Fig. 6 uses
+  it.
+* :class:`EyerissModel` — an analytical row-stationary model
+  (``MACs / (num_PEs * utilization * f_clock)``) parameterized by the
+  published architecture (168 PEs at 200 MHz) and per-layer utilizations.
+  It cross-checks the published numbers to within ~2x and supports
+  non-AlexNet workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.shapes import ConvLayerSpec
+
+EYERISS_NUM_PES = 168
+"""Processing elements in the Eyeriss array (12 x 14)."""
+
+EYERISS_CLOCK_HZ = 200e6
+"""Eyeriss core clock."""
+
+EYERISS_BATCH_SIZE = 4
+"""Batch size of the published AlexNet measurements."""
+
+PUBLISHED_ALEXNET_LAYER_TIMES_S: dict[str, float] = {
+    "conv1": 20.9e-3,
+    "conv2": 41.9e-3,
+    "conv3": 23.6e-3,
+    "conv4": 18.4e-3,
+    "conv5": 10.5e-3,
+}
+"""Measured AlexNet conv processing times for a batch of 4 (JSSC'17 T.V)."""
+
+# Average PE array utilization per AlexNet layer, from the Eyeriss papers'
+# reported mapping efficiency (approximate; used by the analytical model).
+_ALEXNET_UTILIZATION: dict[str, float] = {
+    "conv1": 0.76,
+    "conv2": 0.78,
+    "conv3": 0.88,
+    "conv4": 0.88,
+    "conv5": 0.88,
+}
+
+_DEFAULT_UTILIZATION = 0.80
+"""Utilization assumed for layers without a published figure."""
+
+
+def published_layer_time_s(layer_name: str, per_image: bool = True) -> float:
+    """Measured Eyeriss time for one AlexNet conv layer (s).
+
+    Args:
+        layer_name: ``"conv1"`` .. ``"conv5"``.
+        per_image: divide the batch-of-4 measurement by 4.
+
+    Raises:
+        KeyError: if the layer has no published measurement.
+    """
+    if layer_name not in PUBLISHED_ALEXNET_LAYER_TIMES_S:
+        raise KeyError(
+            f"no published Eyeriss time for {layer_name!r}; have "
+            f"{sorted(PUBLISHED_ALEXNET_LAYER_TIMES_S)}"
+        )
+    time_s = PUBLISHED_ALEXNET_LAYER_TIMES_S[layer_name]
+    if per_image:
+        time_s /= EYERISS_BATCH_SIZE
+    return time_s
+
+
+@dataclass(frozen=True)
+class EyerissModel:
+    """Analytical row-stationary latency/energy model.
+
+    Attributes:
+        num_pes: processing elements.
+        clock_hz: core clock.
+        default_utilization: PE utilization for unknown layers.
+        energy_per_mac_j: average energy per MAC including on-chip data
+            movement (Eyeriss reports ~278 mW at 34.7 fps on AlexNet,
+            which is roughly 16 pJ/MAC end to end).
+    """
+
+    num_pes: int = EYERISS_NUM_PES
+    clock_hz: float = EYERISS_CLOCK_HZ
+    default_utilization: float = _DEFAULT_UTILIZATION
+    energy_per_mac_j: float = 16e-12
+
+    def __post_init__(self) -> None:
+        if self.num_pes <= 0:
+            raise ValueError(f"PE count must be positive, got {self.num_pes!r}")
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_hz!r}")
+        if not 0 < self.default_utilization <= 1:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {self.default_utilization!r}"
+            )
+
+    def utilization_for(self, spec: ConvLayerSpec) -> float:
+        """Per-layer utilization: published value if known, else default."""
+        return _ALEXNET_UTILIZATION.get(spec.name, self.default_utilization)
+
+    def layer_time_s(self, spec: ConvLayerSpec) -> float:
+        """Analytical layer latency: ``MACs / (PEs * util * f)`` (s)."""
+        effective_macs_per_s = (
+            self.num_pes * self.utilization_for(spec) * self.clock_hz
+        )
+        return spec.macs / effective_macs_per_s
+
+    def layer_energy_j(self, spec: ConvLayerSpec) -> float:
+        """Analytical layer energy (J)."""
+        return spec.macs * self.energy_per_mac_j
+
+    def network_time_s(self, specs: list[ConvLayerSpec]) -> float:
+        """Sum of analytical layer latencies (s)."""
+        return sum(self.layer_time_s(spec) for spec in specs)

@@ -1,0 +1,83 @@
+"""YodaNN baseline model (Andri et al., ISVLSI 2016).
+
+YodaNN is the second electronic comparison point in the paper's Fig. 6: a
+binary-weight CNN accelerator in 65 nm whose sum-of-products datapath
+trades weight precision for throughput and energy.  No per-layer AlexNet
+measurements were published, so the model is a throughput model:
+
+    T_layer = MACs / (peak_macs_per_s * utilization)
+
+with the peak derived from the published architecture: 32 sum-of-product
+units, each covering a 7 x 7 filter window (49 MACs) per cycle, at
+480 MHz — 752 GMAC/s peak at the 1.2 V operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.shapes import ConvLayerSpec
+
+YODANN_NUM_SOP_UNITS = 32
+"""Parallel sum-of-products units."""
+
+YODANN_MACS_PER_UNIT = 49
+"""MACs per unit per cycle (7 x 7 filter window)."""
+
+YODANN_CLOCK_HZ = 480e6
+"""Core clock at the 1.2 V high-throughput operating point."""
+
+
+@dataclass(frozen=True)
+class YodaNNModel:
+    """Analytical throughput/energy model for YodaNN.
+
+    Attributes:
+        num_sop_units: parallel sum-of-product units.
+        macs_per_unit: MACs each unit retires per cycle.
+        clock_hz: core clock.
+        utilization: average datapath utilization (filters smaller than
+            7 x 7 leave lanes idle; 0.55 reflects the mix the YodaNN
+            paper reports).
+        energy_per_mac_j: average energy per MAC (binary weights make
+            this very low; ~0.7 pJ at 1.2 V).
+    """
+
+    num_sop_units: int = YODANN_NUM_SOP_UNITS
+    macs_per_unit: int = YODANN_MACS_PER_UNIT
+    clock_hz: float = YODANN_CLOCK_HZ
+    utilization: float = 0.55
+    energy_per_mac_j: float = 0.7e-12
+
+    def __post_init__(self) -> None:
+        if self.num_sop_units <= 0:
+            raise ValueError(
+                f"unit count must be positive, got {self.num_sop_units!r}"
+            )
+        if self.macs_per_unit <= 0:
+            raise ValueError(
+                f"MACs per unit must be positive, got {self.macs_per_unit!r}"
+            )
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_hz!r}")
+        if not 0 < self.utilization <= 1:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {self.utilization!r}"
+            )
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        """Peak MAC throughput (MAC/s)."""
+        return self.num_sop_units * self.macs_per_unit * self.clock_hz
+
+    def layer_time_s(self, spec: ConvLayerSpec) -> float:
+        """Layer latency at sustained (utilization-derated) throughput (s)."""
+        return spec.macs / (self.peak_macs_per_s * self.utilization)
+
+    def layer_energy_j(self, spec: ConvLayerSpec) -> float:
+        """Layer energy (J)."""
+        return spec.macs * self.energy_per_mac_j
+
+    def network_time_s(self, specs: list[ConvLayerSpec]) -> float:
+        """Sum of layer latencies (s)."""
+        return sum(self.layer_time_s(spec) for spec in specs)

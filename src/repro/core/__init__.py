@@ -1,0 +1,157 @@
+"""PCNNA core: the paper's contribution.
+
+Analytical framework (ring counts, area, execution time — paper section
+V), MRR-bank mapping with receptive-field filtering (section IV, Fig. 2),
+the receptive-field dataflow scheduler, the cycle-level timing simulator,
+the functional photonic convolution engine, and power/area roll-ups.
+"""
+
+from repro.core.accelerator import (
+    PCNNA,
+    ConvScaling,
+    LayerReport,
+    PhotonicConvolution,
+)
+from repro.core.analytical import (
+    LayerAnalysis,
+    analyze_layer,
+    analyze_network,
+    bank_area_mm2,
+    dac_updates_per_location,
+    full_system_time_s,
+    microrings_filtered,
+    microrings_unfiltered,
+    network_totals,
+    optical_core_time_s,
+    per_location_adc_time_s,
+    per_location_dac_time_s,
+    ring_savings_factor,
+    rings_per_kernel_bank,
+    speedup,
+    weight_load_time_s,
+)
+from repro.core.area import AreaReport, estimate_layer_area, network_max_area_mm2
+from repro.core.batching import (
+    BatchTiming,
+    layer_batch_time_s,
+    network_batch_timing,
+    weight_stationary_crossover,
+)
+from repro.core.config import PAPER_CONFIG, PCNNAConfig, paper_assumptions
+from repro.core.controller import (
+    ControllerReport,
+    LayerController,
+    Phase,
+    TraceEvent,
+)
+from repro.core.mapping import (
+    Fig2RingCounts,
+    KernelBankMapping,
+    LayerMapping,
+    fig2_ring_counts,
+    map_layer,
+)
+from repro.core.multicore import (
+    PipelinePartition,
+    balanced_partition,
+    contiguous_partition,
+    pipeline_speedup,
+)
+from repro.core.pipeline import (
+    PipelineResult,
+    max_approximation_error,
+    simulate_pipeline,
+    stage_service_times,
+)
+from repro.core.power import (
+    PowerReport,
+    estimate_layer_power,
+    estimate_network_energy_j,
+)
+from repro.core.pruning import (
+    SparseMappingReport,
+    prune_kernels,
+    pruned_conv_error,
+    sparse_mapping_report,
+    threshold_for_sparsity,
+)
+from repro.core.scheduler import LayerSchedule, LocationStep, dram_traffic_bytes
+from repro.core.timing import (
+    LayerTimingResult,
+    StageBreakdown,
+    simulate_layer,
+    simulate_network,
+)
+from repro.core.validation import (
+    EquivalenceReport,
+    assert_functionally_equivalent,
+    compare_photonic_reference,
+)
+
+__all__ = [
+    "PCNNA",
+    "ConvScaling",
+    "LayerReport",
+    "PhotonicConvolution",
+    "LayerAnalysis",
+    "analyze_layer",
+    "analyze_network",
+    "bank_area_mm2",
+    "dac_updates_per_location",
+    "full_system_time_s",
+    "microrings_filtered",
+    "microrings_unfiltered",
+    "network_totals",
+    "optical_core_time_s",
+    "per_location_adc_time_s",
+    "per_location_dac_time_s",
+    "ring_savings_factor",
+    "rings_per_kernel_bank",
+    "speedup",
+    "weight_load_time_s",
+    "AreaReport",
+    "estimate_layer_area",
+    "network_max_area_mm2",
+    "BatchTiming",
+    "layer_batch_time_s",
+    "network_batch_timing",
+    "weight_stationary_crossover",
+    "PAPER_CONFIG",
+    "PCNNAConfig",
+    "paper_assumptions",
+    "ControllerReport",
+    "LayerController",
+    "Phase",
+    "TraceEvent",
+    "Fig2RingCounts",
+    "KernelBankMapping",
+    "LayerMapping",
+    "fig2_ring_counts",
+    "map_layer",
+    "PipelinePartition",
+    "balanced_partition",
+    "contiguous_partition",
+    "pipeline_speedup",
+    "SparseMappingReport",
+    "prune_kernels",
+    "pruned_conv_error",
+    "sparse_mapping_report",
+    "threshold_for_sparsity",
+    "PipelineResult",
+    "max_approximation_error",
+    "simulate_pipeline",
+    "stage_service_times",
+    "PowerReport",
+    "estimate_layer_power",
+    "estimate_network_energy_j",
+    "LayerSchedule",
+    "LocationStep",
+    "dram_traffic_bytes",
+    "LayerTimingResult",
+    "StageBreakdown",
+    "simulate_layer",
+    "simulate_network",
+    "EquivalenceReport",
+    "assert_functionally_equivalent",
+    "compare_photonic_reference",
+]

@@ -1,0 +1,314 @@
+"""The PCNNA accelerator facade: functional photonic convolution.
+
+:class:`PhotonicConvolution` executes a *real* convolution through the
+photonic substrate, location by location, exactly as the architecture
+does (paper section IV):
+
+1. the kernel weights are scaled into [-1, 1] and programmed onto the K
+   weight banks once per layer;
+2. for every kernel location, the receptive field is scaled into [0, 1],
+   DAC-quantized, encoded onto WDM wavelengths by the MZMs, broadcast to
+   all K banks, and balanced-detected — producing all K outputs in one
+   MAC wave;
+3. outputs are ADC-quantized and rescaled back to the original ranges.
+
+Signed inputs are handled with an affine encoding: the optical core
+computes ``dot(w, x')`` for the shifted/normalized ``x'`` and the digital
+back-end removes the shift using the per-kernel weight sums (a one-time
+calibration constant) — no information is lost and ideal mode is exact
+to float precision.
+
+:class:`PCNNA` bundles the functional engine with the analytical and
+cycle-level models into the single entry point users interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analytical import LayerAnalysis, analyze_layer
+from repro.core.config import PCNNAConfig
+from repro.core.timing import LayerTimingResult, simulate_layer
+from repro.nn.im2col import im2col
+from repro.nn.network import Network
+from repro.nn.shapes import ConvLayerSpec, conv_output_side
+from repro.photonics.broadcast_weight import BroadcastAndWeightLayer
+from repro.photonics.wdm import WdmGrid
+
+
+@dataclass(frozen=True)
+class ConvScaling:
+    """Affine scaling constants for one photonic conv layer.
+
+    Attributes:
+        input_offset: subtracted from inputs before normalization.
+        input_scale: divides shifted inputs into [0, 1].
+        weight_scale: divides weights into [-1, 1].
+        weight_sums: per-kernel sums of the *scaled* weights, used to
+            remove the input offset from the detected outputs.
+    """
+
+    input_offset: float
+    input_scale: float
+    weight_scale: float
+    weight_sums: np.ndarray
+
+    def decode(self, raw_outputs: np.ndarray) -> np.ndarray:
+        """Map balanced-detector outputs back to true convolution values.
+
+        Args:
+            raw_outputs: array of shape ``(K,)`` or ``(K, num_locations)``.
+        """
+        sums = self.weight_sums
+        if raw_outputs.ndim == 2:
+            sums = sums[:, None]
+        return (raw_outputs * self.input_scale + self.input_offset * sums) * (
+            self.weight_scale
+        )
+
+
+def _compute_scaling(
+    feature_map: np.ndarray, kernels: np.ndarray, include_zero: bool = False
+) -> tuple[ConvScaling, np.ndarray]:
+    """Derive the affine scaling and the scaled weight matrix.
+
+    Args:
+        include_zero: extend the input range to contain 0 — required when
+            zero padding injects literal zeros into receptive fields.
+    """
+    x_min = float(feature_map.min())
+    x_max = float(feature_map.max())
+    if include_zero:
+        x_min = min(x_min, 0.0)
+        x_max = max(x_max, 0.0)
+    span = x_max - x_min
+    if span <= 0.0:
+        # Constant input: any positive scale works; pick 1 to avoid 0/0.
+        span = 1.0
+    w_max = float(np.abs(kernels).max())
+    if w_max <= 0.0:
+        w_max = 1.0
+    num_kernels = kernels.shape[0]
+    weight_matrix = kernels.reshape(num_kernels, -1) / w_max
+    scaling = ConvScaling(
+        input_offset=x_min,
+        input_scale=span,
+        weight_scale=w_max,
+        weight_sums=weight_matrix.sum(axis=1),
+    )
+    return scaling, weight_matrix
+
+
+class PhotonicConvolution:
+    """Executes convolutions on the broadcast-and-weight optical core.
+
+    Args:
+        config: hardware configuration (noise, converters, clocks).
+        method: ``"device"`` runs every MAC wave through the full device
+            simulation; ``"matrix"`` uses the mathematically-equivalent
+            closed form (valid only in ideal mode, proven equivalent by
+            the test suite); ``"auto"`` picks ``"matrix"`` when the
+            configuration is ideal and quantization is disabled.
+        quantize: apply DAC/ADC quantization to inputs/outputs.
+    """
+
+    def __init__(
+        self,
+        config: PCNNAConfig | None = None,
+        method: str = "auto",
+        quantize: bool = False,
+    ) -> None:
+        if method not in ("auto", "device", "matrix"):
+            raise ValueError(
+                f"method must be 'auto', 'device' or 'matrix', got {method!r}"
+            )
+        self.config = config if config is not None else PCNNAConfig()
+        self.method = method
+        self.quantize = quantize
+
+    def _resolved_method(self) -> str:
+        """The concrete execution method for the current configuration."""
+        if self.method != "auto":
+            return self.method
+        if self.config.noise.enabled or self.quantize:
+            return "device"
+        return "matrix"
+
+    def convolve(
+        self,
+        feature_map: np.ndarray,
+        kernels: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> np.ndarray:
+        """Convolve ``feature_map`` with ``kernels`` on the optical core.
+
+        Args:
+            feature_map: input of shape ``(C, H, W)``.
+            kernels: weights of shape ``(K, C, m, m)``.
+            stride: spatial stride.
+            padding: zero padding.
+
+        Returns:
+            Output of shape ``(K, out_side, out_side)`` — the photonic
+            estimate of the convolution (exact in ideal mode).
+
+        Raises:
+            ValueError: on shape mismatches.
+        """
+        feature_map = np.asarray(feature_map, dtype=float)
+        kernels = np.asarray(kernels, dtype=float)
+        if feature_map.ndim != 3:
+            raise ValueError(
+                f"feature map must be (C, H, W), got {feature_map.shape}"
+            )
+        if kernels.ndim != 4 or kernels.shape[1] != feature_map.shape[0]:
+            raise ValueError(
+                f"kernels {kernels.shape} incompatible with input "
+                f"{feature_map.shape}"
+            )
+
+        num_kernels = kernels.shape[0]
+        kernel_size = kernels.shape[2]
+        height = feature_map.shape[1]
+        width = feature_map.shape[2]
+
+        # Zero padding injects literal zeros into receptive fields, so the
+        # affine input range must contain 0 for the encoding to be exact.
+        scaling, weight_matrix = _compute_scaling(
+            feature_map, kernels, include_zero=padding > 0
+        )
+        columns = im2col(feature_map, kernel_size, stride, padding)
+        normalized = (columns - scaling.input_offset) / scaling.input_scale
+        normalized = np.clip(normalized, 0.0, 1.0)
+
+        if self.quantize:
+            normalized = self.config.input_dac.quantize(normalized)
+
+        if self._resolved_method() == "matrix":
+            raw = weight_matrix @ normalized
+        else:
+            raw = self._device_matvec(normalized, weight_matrix)
+
+        if self.quantize:
+            # The TIA's programmable gain maps the observed output range
+            # onto the ADC full scale (automatic gain control), so the
+            # quantizer's resolution is spent on the actual signal.
+            gain = max(float(np.max(np.abs(raw))), 1e-30)
+            raw = self.config.adc.quantize(raw / gain) * gain
+
+        outputs = scaling.decode(raw)
+        out_h = conv_output_side(height, kernel_size, padding, stride)
+        out_w = conv_output_side(width, kernel_size, padding, stride)
+        return outputs.reshape(num_kernels, out_h, out_w)
+
+    def _device_matvec(
+        self, normalized_columns: np.ndarray, weight_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Run every receptive field through the physical device stack."""
+        num_kernels, field_size = weight_matrix.shape
+        grid = WdmGrid(num_channels=field_size)
+        layer = BroadcastAndWeightLayer(
+            num_inputs=field_size,
+            num_outputs=num_kernels,
+            grid=grid,
+            ring_design=self.config.ring_design,
+            noise=self.config.noise,
+        )
+        layer.set_weight_matrix(weight_matrix)
+        num_locations = normalized_columns.shape[1]
+        raw = np.empty((num_kernels, num_locations), dtype=float)
+        for location in range(num_locations):
+            raw[:, location] = layer.compute(normalized_columns[:, location])
+        return raw
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Combined analytical + simulated report for one layer.
+
+    Attributes:
+        analysis: closed-form quantities (rings, times, area).
+        timing: cycle-level simulation result.
+    """
+
+    analysis: LayerAnalysis
+    timing: LayerTimingResult
+
+    @property
+    def name(self) -> str:
+        """Layer name."""
+        return self.analysis.name
+
+
+class PCNNA:
+    """The PCNNA accelerator: one object tying every model together.
+
+    Args:
+        config: hardware configuration; defaults to the paper's.
+
+    Example:
+        >>> from repro import PCNNA
+        >>> from repro.workloads import alexnet_layer
+        >>> accelerator = PCNNA()
+        >>> report = accelerator.report_layer(alexnet_layer("conv4"))
+        >>> report.analysis.rings_per_bank
+        3456
+    """
+
+    def __init__(self, config: PCNNAConfig | None = None) -> None:
+        self.config = config if config is not None else PCNNAConfig()
+        self.engine = PhotonicConvolution(self.config)
+
+    def analyze_layer(self, spec: ConvLayerSpec) -> LayerAnalysis:
+        """Closed-form analysis of one conv layer (paper section V)."""
+        return analyze_layer(spec, self.config)
+
+    def simulate_layer(
+        self, spec: ConvLayerSpec, include_adc: bool = True
+    ) -> LayerTimingResult:
+        """Cycle-level timing simulation of one conv layer."""
+        return simulate_layer(spec, self.config, include_adc)
+
+    def report_layer(self, spec: ConvLayerSpec) -> LayerReport:
+        """Both analyses for one layer."""
+        return LayerReport(
+            analysis=self.analyze_layer(spec),
+            timing=self.simulate_layer(spec),
+        )
+
+    def convolve(
+        self,
+        feature_map: np.ndarray,
+        kernels: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> np.ndarray:
+        """Functional photonic convolution (see :class:`PhotonicConvolution`)."""
+        return self.engine.convolve(feature_map, kernels, stride, padding)
+
+    def run_network(self, network: Network, inputs: np.ndarray) -> np.ndarray:
+        """Run a full CNN with every conv layer executed photonically.
+
+        Non-conv layers (pooling, activation, normalization, dense) run on
+        the electronic side, mirroring the paper's system partitioning.
+        """
+        from repro.nn.layers import Conv2D
+
+        if inputs.shape != network.input_shape:
+            raise ValueError(
+                f"expected input shape {network.input_shape}, got {inputs.shape}"
+            )
+        current = inputs
+        for layer in network.layers:
+            if isinstance(layer, Conv2D):
+                current = self.convolve(
+                    current, layer.weights, layer.stride, layer.padding
+                )
+                if layer.bias is not None:
+                    current = current + layer.bias[:, None, None]
+            else:
+                current = layer.forward(current)
+        return current

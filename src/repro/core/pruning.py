@@ -1,0 +1,147 @@
+"""Sparsity-aware ring allocation (extension).
+
+Equation (5) assumes every kernel weight gets a microring.  Pruned CNNs
+carry many near-zero weights; a ring whose weight is zero can be parked
+far off resonance (contributing nothing) or, at design time, not placed
+at all.  This module quantifies what magnitude pruning buys PCNNA:
+
+* rings (and heater power / area) saved per layer at a given threshold;
+* the accuracy proxy — the fraction of weight *energy* retained;
+* sparse mapping of a concrete weight tensor onto banks.
+
+This extends the paper's own insight (receptive-field sparsity) from
+connection sparsity down to weight sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analytical import bank_area_mm2
+from repro.core.config import PCNNAConfig
+from repro.core.power import DEFAULT_RING_TUNING_W
+
+
+@dataclass(frozen=True)
+class SparseMappingReport:
+    """Effect of weight pruning on a layer's ring allocation.
+
+    Attributes:
+        total_weights: dense weight count (== dense ring count, eq. 5).
+        active_rings: rings still needed after pruning.
+        pruned_rings: rings eliminated.
+        threshold: magnitude threshold used.
+        energy_retained: fraction of sum(w^2) kept by the active rings.
+        rings_area_saved_mm2: layout area eliminated.
+        tuning_power_saved_w: heater power eliminated.
+    """
+
+    total_weights: int
+    active_rings: int
+    threshold: float
+    energy_retained: float
+    rings_area_saved_mm2: float
+    tuning_power_saved_w: float
+
+    @property
+    def pruned_rings(self) -> int:
+        """Rings eliminated by pruning."""
+        return self.total_weights - self.active_rings
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of rings eliminated."""
+        if self.total_weights == 0:
+            return 0.0
+        return self.pruned_rings / self.total_weights
+
+
+def prune_kernels(
+    kernels: np.ndarray, threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zero out kernel weights below ``threshold`` in magnitude.
+
+    Args:
+        kernels: weight tensor of any shape.
+        threshold: absolute magnitude cutoff (>= 0).
+
+    Returns:
+        ``(pruned_kernels, keep_mask)``.
+
+    Raises:
+        ValueError: if ``threshold`` is negative.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold!r}")
+    weights = np.asarray(kernels, dtype=float)
+    mask = np.abs(weights) >= threshold
+    return weights * mask, mask
+
+
+def sparse_mapping_report(
+    kernels: np.ndarray,
+    threshold: float,
+    config: PCNNAConfig | None = None,
+    tuning_w_per_ring: float = DEFAULT_RING_TUNING_W,
+) -> SparseMappingReport:
+    """Quantify the ring savings of pruning ``kernels`` at ``threshold``."""
+    cfg = config if config is not None else PCNNAConfig()
+    weights = np.asarray(kernels, dtype=float)
+    pruned, mask = prune_kernels(weights, threshold)
+
+    total = int(weights.size)
+    active = int(mask.sum())
+    dense_energy = float(np.sum(weights**2))
+    if dense_energy == 0.0:
+        retained = 1.0
+    else:
+        retained = float(np.sum(pruned**2)) / dense_energy
+
+    saved_rings = total - active
+    return SparseMappingReport(
+        total_weights=total,
+        active_rings=active,
+        threshold=threshold,
+        energy_retained=retained,
+        rings_area_saved_mm2=bank_area_mm2(saved_rings, cfg),
+        tuning_power_saved_w=saved_rings * tuning_w_per_ring,
+    )
+
+
+def threshold_for_sparsity(kernels: np.ndarray, sparsity: float) -> float:
+    """Magnitude threshold achieving a target ring sparsity.
+
+    Args:
+        kernels: weight tensor.
+        sparsity: desired fraction of rings to eliminate, in [0, 1).
+
+    Raises:
+        ValueError: if ``sparsity`` is outside [0, 1).
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity!r}")
+    magnitudes = np.abs(np.asarray(kernels, dtype=float)).reshape(-1)
+    if sparsity == 0.0:
+        return 0.0
+    return float(np.quantile(magnitudes, sparsity))
+
+
+def pruned_conv_error(
+    feature_map: np.ndarray, kernels: np.ndarray, threshold: float
+) -> float:
+    """Relative conv-output error introduced by pruning at ``threshold``.
+
+    Runs the reference convolution with dense and pruned kernels and
+    reports the max output deviation relative to the dense output scale.
+    """
+    from repro.nn import functional as F
+
+    dense = F.conv2d(np.asarray(feature_map, dtype=float), np.asarray(kernels))
+    pruned, _ = prune_kernels(kernels, threshold)
+    sparse = F.conv2d(np.asarray(feature_map, dtype=float), pruned)
+    scale = float(np.max(np.abs(dense)))
+    if scale == 0.0:
+        return 0.0
+    return float(np.max(np.abs(sparse - dense)) / scale)

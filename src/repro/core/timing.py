@@ -1,0 +1,239 @@
+"""Cycle-level timing simulation of the full PCNNA pipeline.
+
+Where :mod:`repro.core.analytical` encodes the paper's closed-form model,
+this module *simulates* the Fig. 4 pipeline location by location:
+
+    DRAM -> input buffer -> SRAM cache -> DAC array -> MZM -> MRR banks
+         -> balanced PDs -> ADC array -> output buffer -> DRAM
+
+Per location the stages are:
+
+* **fetch** — newly-required receptive-field values stream from DRAM
+  (exact counts from the :class:`~repro.core.scheduler.LayerSchedule`,
+  including row wrap-around refills the analytical model ignores);
+* **convert** — the input-DAC array converts the new values,
+  ``ceil(new / num_dacs)`` sequential conversions on the busiest DAC;
+* **compute** — one optical MAC wave: a single fast-clock cycle;
+* **digitize** — the ADC array digitizes the K kernel outputs.
+
+Stages are double-buffered (the paper's buffers exist precisely to
+decouple them), so the steady-state per-location time is the *maximum*
+stage time and the layer time is ``sum(max per location) + pipeline
+fill``.  A non-pipelined mode (sum of all stages) is also reported.
+
+The simulator exists to validate the analytical model: tests assert the
+two agree within the fill/rounding slack, and the benchmarks report both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.analytical import full_system_time_s, optical_core_time_s
+from repro.core.config import PCNNAConfig
+from repro.core.scheduler import LayerSchedule
+from repro.electronics.adc import AdcArray
+from repro.electronics.dac import DacArray
+from repro.electronics.dram import Dram
+from repro.nn.shapes import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Accumulated time per pipeline stage over a layer (seconds).
+
+    Attributes:
+        fetch_s: DRAM streaming time.
+        convert_s: input-DAC conversion time.
+        compute_s: optical MAC time.
+        digitize_s: ADC time.
+    """
+
+    fetch_s: float
+    convert_s: float
+    compute_s: float
+    digitize_s: float
+
+    @property
+    def serial_total_s(self) -> float:
+        """Total with no stage overlap (non-pipelined execution)."""
+        return self.fetch_s + self.convert_s + self.compute_s + self.digitize_s
+
+
+@dataclass(frozen=True)
+class LayerTimingResult:
+    """Cycle-level simulation result for one layer.
+
+    Attributes:
+        spec: the simulated layer.
+        pipelined_time_s: steady-state double-buffered layer time.
+        serial_time_s: non-pipelined layer time (all stages serialized).
+        weight_load_time_s: once-per-layer weight DAC + DRAM time.
+        stages: per-stage accumulated times.
+        bottleneck: name of the stage with the largest accumulated time.
+        dac_bound_locations: locations where the DAC was the slowest stage.
+        adc_bound_locations: locations where the ADC was the slowest stage.
+        dram_bytes: total DRAM traffic (bytes).
+        analytical_optical_s: eq. (7) prediction for cross-checking.
+        analytical_full_s: paper full-system (DAC-bound) prediction.
+    """
+
+    spec: ConvLayerSpec
+    pipelined_time_s: float
+    serial_time_s: float
+    weight_load_time_s: float
+    stages: StageBreakdown
+    bottleneck: str
+    dac_bound_locations: int
+    adc_bound_locations: int
+    dram_bytes: int
+    analytical_optical_s: float
+    analytical_full_s: float
+
+    @property
+    def name(self) -> str:
+        """Layer name."""
+        return self.spec.name
+
+    @property
+    def analytical_agreement(self) -> float:
+        """Ratio of simulated pipelined time to the paper's prediction."""
+        return self.pipelined_time_s / self.analytical_full_s
+
+
+def simulate_layer(
+    spec: ConvLayerSpec,
+    config: PCNNAConfig | None = None,
+    include_adc: bool = True,
+) -> LayerTimingResult:
+    """Simulate one conv layer through the PCNNA pipeline.
+
+    Args:
+        spec: layer geometry.
+        config: hardware configuration.
+        include_adc: model ADC serialization of the K per-location
+            outputs.  The paper's analytical model omits it (see
+            :mod:`repro.core.analytical`); disable to mirror the paper.
+
+    Returns:
+        The :class:`LayerTimingResult` for the layer.
+    """
+    cfg = config if config is not None else PCNNAConfig()
+    schedule = LayerSchedule(spec)
+    input_dacs = DacArray(cfg.num_input_dacs, cfg.input_dac)
+    weight_dacs = DacArray(cfg.num_weight_dacs, cfg.weight_dac)
+    adcs = AdcArray(cfg.num_adcs, cfg.adc)
+    dram = Dram(cfg.dram)
+
+    if cfg.max_parallel_kernels is None:
+        kernels_per_pass = spec.num_kernels
+    else:
+        kernels_per_pass = min(spec.num_kernels, cfg.max_parallel_kernels)
+    passes = math.ceil(spec.num_kernels / kernels_per_pass)
+
+    fast_period = cfg.fast_clock_period_s
+    value_bytes = cfg.value_bytes
+
+    fetch_total = 0.0
+    convert_total = 0.0
+    compute_total = 0.0
+    digitize_total = 0.0
+    pipelined_total = 0.0
+    dac_bound = 0
+    adc_bound = 0
+    max_stage_seen = 0.0
+
+    adc_time = adcs.schedule(kernels_per_pass).time_s if include_adc else 0.0
+
+    # DRAM fetch policy: if the SRAM cache holds the live m-row working
+    # set, each input value streams from DRAM only on its first window
+    # membership (row reuse); otherwise every window entry re-fetches.
+    sram_fits = schedule.working_set_values() <= cfg.sram.capacity_words
+    first_touch = schedule.first_touch_counts()
+
+    for step in schedule.steps():
+        fetched_values = (
+            int(first_touch[step.index]) if sram_fits else step.new_values
+        )
+        # Bursts ride an open row, so only bandwidth is paid per location.
+        fetch_time = dram.stream_read(fetched_values * value_bytes)
+        convert_time = input_dacs.schedule(step.new_values).time_s
+        compute_time = fast_period
+
+        stage_times = {
+            "fetch": fetch_time,
+            "convert": convert_time,
+            "compute": compute_time,
+            "digitize": adc_time,
+        }
+        fetch_total += fetch_time
+        convert_total += convert_time
+        compute_total += compute_time
+        digitize_total += adc_time
+
+        slowest = max(stage_times.values())
+        pipelined_total += slowest
+        max_stage_seen = max(max_stage_seen, slowest)
+        if slowest == convert_time and convert_time >= adc_time:
+            dac_bound += 1
+        elif slowest == adc_time:
+            adc_bound += 1
+        dram.stream_write(kernels_per_pass * value_bytes)
+
+    # Sequential kernel passes repeat the whole location walk.
+    fetch_total *= passes
+    convert_total *= passes
+    compute_total *= passes
+    digitize_total *= passes
+    pipelined_total *= passes
+
+    # Pipeline fill: the first location's fetch/convert cannot overlap
+    # anything, so add one full serial traversal of the non-dominant
+    # stages for the first location (bounded by 3 stage maxima).
+    pipeline_fill = 3 * max_stage_seen
+    pipelined_total += pipeline_fill
+
+    stages = StageBreakdown(
+        fetch_s=fetch_total,
+        convert_s=convert_total,
+        compute_s=compute_total,
+        digitize_s=digitize_total,
+    )
+    stage_map = {
+        "fetch": fetch_total,
+        "convert": convert_total,
+        "compute": compute_total,
+        "digitize": digitize_total,
+    }
+    bottleneck = max(stage_map, key=stage_map.__getitem__)
+
+    # Weight load: DRAM read of all weights plus the weight-DAC pass.
+    weight_bytes = spec.total_weights * value_bytes
+    weight_load = dram.read(weight_bytes) + weight_dacs.schedule(
+        spec.total_weights
+    ).time_s
+
+    return LayerTimingResult(
+        spec=spec,
+        pipelined_time_s=pipelined_total,
+        serial_time_s=stages.serial_total_s,
+        weight_load_time_s=weight_load,
+        stages=stages,
+        bottleneck=bottleneck,
+        dac_bound_locations=dac_bound * passes,
+        adc_bound_locations=adc_bound * passes,
+        dram_bytes=dram.stats.total_bytes,
+        analytical_optical_s=optical_core_time_s(spec, cfg),
+        analytical_full_s=full_system_time_s(spec, cfg),
+    )
+
+
+def simulate_network(
+    specs: list[ConvLayerSpec],
+    config: PCNNAConfig | None = None,
+    include_adc: bool = True,
+) -> list[LayerTimingResult]:
+    """Simulate every layer of a network, in order."""
+    cfg = config if config is not None else PCNNAConfig()
+    return [simulate_layer(spec, cfg, include_adc) for spec in specs]

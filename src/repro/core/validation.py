@@ -1,0 +1,111 @@
+"""Functional-equivalence validation: photonic vs. NumPy reference.
+
+These helpers quantify how closely the photonic convolution tracks the
+floating-point reference under a given hardware configuration — the
+workhorse of the noise-robustness example and of the test suite's
+exactness checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import PhotonicConvolution
+from repro.core.config import PCNNAConfig
+from repro.nn import functional as F
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Error statistics between photonic and reference convolution.
+
+    Attributes:
+        max_abs_error: worst-case absolute output error.
+        max_rel_error: worst-case error relative to the reference's
+            largest output magnitude.
+        rms_error: root-mean-square output error.
+        reference_scale: the reference's largest output magnitude.
+    """
+
+    max_abs_error: float
+    max_rel_error: float
+    rms_error: float
+    reference_scale: float
+
+    def within(self, rel_tolerance: float) -> bool:
+        """Whether the worst relative error is inside ``rel_tolerance``."""
+        return self.max_rel_error <= rel_tolerance
+
+
+def compare_photonic_reference(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: PCNNAConfig | None = None,
+    method: str = "auto",
+    quantize: bool = False,
+) -> EquivalenceReport:
+    """Run both engines on the same convolution and report the error.
+
+    Args:
+        feature_map: input of shape ``(C, H, W)``.
+        kernels: weights of shape ``(K, C, m, m)``.
+        stride: spatial stride.
+        padding: zero padding.
+        config: hardware configuration for the photonic engine.
+        method: photonic execution method (see
+            :class:`~repro.core.accelerator.PhotonicConvolution`).
+        quantize: apply DAC/ADC quantization in the photonic engine.
+
+    Returns:
+        The :class:`EquivalenceReport`.
+    """
+    cfg = config if config is not None else PCNNAConfig()
+    engine = PhotonicConvolution(cfg, method=method, quantize=quantize)
+    photonic = engine.convolve(feature_map, kernels, stride, padding)
+    reference = F.conv2d(
+        np.asarray(feature_map, dtype=float),
+        np.asarray(kernels, dtype=float),
+        stride,
+        padding,
+    )
+    error = photonic - reference
+    scale = float(np.max(np.abs(reference)))
+    if scale == 0.0:
+        scale = 1.0
+    return EquivalenceReport(
+        max_abs_error=float(np.max(np.abs(error))),
+        max_rel_error=float(np.max(np.abs(error)) / scale),
+        rms_error=float(np.sqrt(np.mean(error**2))),
+        reference_scale=scale,
+    )
+
+
+def assert_functionally_equivalent(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: PCNNAConfig | None = None,
+    rel_tolerance: float = 1e-9,
+) -> EquivalenceReport:
+    """Raise if the photonic conv deviates beyond ``rel_tolerance``.
+
+    Returns:
+        The report, for further inspection.
+
+    Raises:
+        AssertionError: if the relative error exceeds the tolerance.
+    """
+    report = compare_photonic_reference(
+        feature_map, kernels, stride, padding, config
+    )
+    if not report.within(rel_tolerance):
+        raise AssertionError(
+            f"photonic convolution deviates: max relative error "
+            f"{report.max_rel_error:.3e} > {rel_tolerance:.3e}"
+        )
+    return report

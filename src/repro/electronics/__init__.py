@@ -1,0 +1,58 @@
+"""Electronic substrate for the PCNNA reproduction.
+
+Models the paper's electronic periphery: DAC/ADC arrays (the full-system
+bottleneck), the 128 kb / 7 ns SRAM cache, off-chip DRAM, clock-domain
+crossing buffers, and the dual fast/main clock system.
+"""
+
+from repro.electronics.adc import AdcArray, AdcConversion
+from repro.electronics.buffers import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    Fifo,
+    InputBuffer,
+    KernelWeightsBuffer,
+    OutputBuffer,
+)
+from repro.electronics.clock import (
+    PCNNA_FAST_CLOCK_HZ,
+    PCNNA_MAIN_CLOCK_HZ,
+    ClockDomain,
+    DualClockSystem,
+)
+from repro.electronics.converters import (
+    PCNNA_INPUT_DAC,
+    PCNNA_OUTPUT_ADC,
+    PCNNA_WEIGHT_DAC,
+    ConverterSpec,
+)
+from repro.electronics.dac import DacArray, DacConversion
+from repro.electronics.dram import Dram, DramSpec, DramStats
+from repro.electronics.sram import SramCache, SramSpec, SramStats
+
+__all__ = [
+    "AdcArray",
+    "AdcConversion",
+    "BufferOverflowError",
+    "BufferUnderflowError",
+    "Fifo",
+    "InputBuffer",
+    "KernelWeightsBuffer",
+    "OutputBuffer",
+    "PCNNA_FAST_CLOCK_HZ",
+    "PCNNA_MAIN_CLOCK_HZ",
+    "ClockDomain",
+    "DualClockSystem",
+    "PCNNA_INPUT_DAC",
+    "PCNNA_OUTPUT_ADC",
+    "PCNNA_WEIGHT_DAC",
+    "ConverterSpec",
+    "DacArray",
+    "DacConversion",
+    "Dram",
+    "DramSpec",
+    "DramStats",
+    "SramCache",
+    "SramSpec",
+    "SramStats",
+]

@@ -1,0 +1,76 @@
+"""Analog-to-digital converter array: the PCNNA back-end.
+
+Convolution results leave the optical core as analog photocurrents and
+are digitized by ADCs before being written back to DRAM (paper section
+IV).  The array model mirrors :class:`repro.electronics.dac.DacArray`:
+round-robin scheduling of ``K`` kernel outputs per location over
+``num_adcs`` converters at the ADC sample rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.electronics.converters import PCNNA_OUTPUT_ADC, ConverterSpec
+
+
+@dataclass(frozen=True)
+class AdcConversion:
+    """Result of scheduling a batch of digitizations on an ADC array.
+
+    Attributes:
+        num_values: values digitized.
+        per_adc_values: worst-case values handled by a single ADC.
+        time_s: wall-clock time for the batch.
+    """
+
+    num_values: int
+    per_adc_values: int
+    time_s: float
+
+
+class AdcArray:
+    """``num_adcs`` identical ADCs digitizing values in parallel."""
+
+    def __init__(self, num_adcs: int, spec: ConverterSpec | None = None) -> None:
+        if num_adcs <= 0:
+            raise ValueError(f"need at least one ADC, got {num_adcs!r}")
+        self.num_adcs = num_adcs
+        self.spec = spec if spec is not None else PCNNA_OUTPUT_ADC
+
+    def schedule(self, num_values: int) -> AdcConversion:
+        """Schedule ``num_values`` digitizations round-robin over the array.
+
+        Raises:
+            ValueError: if ``num_values`` is negative.
+        """
+        if num_values < 0:
+            raise ValueError(f"value count must be non-negative, got {num_values!r}")
+        per_adc = math.ceil(num_values / self.num_adcs)
+        return AdcConversion(
+            num_values=num_values,
+            per_adc_values=per_adc,
+            time_s=per_adc * self.spec.sample_period_s,
+        )
+
+    def digitize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize analog values to the ADC's representable levels."""
+        return self.spec.quantize(values)
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total silicon area of the array (mm^2)."""
+        return self.num_adcs * self.spec.area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        """Total active power of the array (W)."""
+        return self.num_adcs * self.spec.power_w
+
+    @property
+    def aggregate_rate_hz(self) -> float:
+        """Aggregate digitization throughput (samples/s)."""
+        return self.num_adcs * self.spec.sample_rate_hz

@@ -1,0 +1,145 @@
+"""Clock-domain-crossing buffers.
+
+The paper's Fig. 4 shows three buffers isolating the fast optical core
+from the slow external environment: the Kernel Weights Buffer, the Input
+Buffer, and the Output Buffer.  :class:`Fifo` is a capacity-bounded FIFO
+with occupancy accounting; the named subclasses exist so architecture
+code reads like the block diagram.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when a push would exceed the buffer capacity."""
+
+
+class BufferUnderflowError(RuntimeError):
+    """Raised when a pop finds the buffer empty."""
+
+
+@dataclass
+class FifoStats:
+    """Mutable occupancy counters for one FIFO.
+
+    Attributes:
+        pushes: total items pushed.
+        pops: total items popped.
+        max_occupancy: high-water mark of resident items.
+    """
+
+    pushes: int = 0
+    pops: int = 0
+    max_occupancy: int = 0
+
+
+class Fifo:
+    """A bounded first-in-first-out buffer of opaque items.
+
+    Args:
+        capacity: maximum resident items.
+        name: label used in error messages and reports.
+    """
+
+    def __init__(self, capacity: int, name: str = "fifo") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self.name = name
+        self.stats = FifoStats()
+        self._items: deque[object] = deque()
+
+    @property
+    def occupancy(self) -> int:
+        """Items currently resident."""
+        return len(self._items)
+
+    @property
+    def free_space(self) -> int:
+        """Slots currently available."""
+        return self.capacity - len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no items."""
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer is at capacity."""
+        return len(self._items) >= self.capacity
+
+    def push(self, item: object) -> None:
+        """Append one item.
+
+        Raises:
+            BufferOverflowError: if the buffer is full.
+        """
+        if self.is_full:
+            raise BufferOverflowError(
+                f"{self.name}: push into full buffer (capacity {self.capacity})"
+            )
+        self._items.append(item)
+        self.stats.pushes += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
+
+    def push_many(self, items: list[object]) -> None:
+        """Append several items atomically.
+
+        Raises:
+            BufferOverflowError: if the batch does not fit; nothing is
+                pushed in that case.
+        """
+        if len(items) > self.free_space:
+            raise BufferOverflowError(
+                f"{self.name}: batch of {len(items)} exceeds free space "
+                f"{self.free_space}"
+            )
+        for item in items:
+            self.push(item)
+
+    def pop(self) -> object:
+        """Remove and return the oldest item.
+
+        Raises:
+            BufferUnderflowError: if the buffer is empty.
+        """
+        if self.is_empty:
+            raise BufferUnderflowError(f"{self.name}: pop from empty buffer")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def drain(self) -> list[object]:
+        """Remove and return all items, oldest first."""
+        items = list(self._items)
+        self.stats.pops += len(items)
+        self._items.clear()
+        return items
+
+    def clear(self) -> None:
+        """Discard all items without counting them as pops."""
+        self._items.clear()
+
+
+class KernelWeightsBuffer(Fifo):
+    """Buffer staging kernel weights loaded from DRAM (Fig. 4)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, name="kernel-weights-buffer")
+
+
+class InputBuffer(Fifo):
+    """Buffer staging receptive-field input values (Fig. 4)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, name="input-buffer")
+
+
+class OutputBuffer(Fifo):
+    """Buffer staging digitized convolution results for DRAM (Fig. 4)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity, name="output-buffer")

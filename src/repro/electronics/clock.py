@@ -1,0 +1,104 @@
+"""Clock-domain models.
+
+PCNNA runs on two clock domains (paper section IV): a fast 5 GHz domain
+driving the optical core and its immediate electronics, and a slower main
+domain interfacing with the outside world.  :class:`ClockDomain` converts
+between cycles and seconds; :class:`DualClockSystem` bundles the pair and
+performs domain-crossing rounding (an event taking ``t`` seconds occupies
+``ceil(t * f)`` whole cycles of a domain).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+PCNNA_FAST_CLOCK_HZ = 5e9
+"""The paper's fast (optical-core) clock."""
+
+PCNNA_MAIN_CLOCK_HZ = 1e9
+"""Default main (interface) clock; the paper leaves it unspecified."""
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A clock domain with a fixed frequency.
+
+    Attributes:
+        name: human-readable domain name.
+        frequency_hz: clock frequency.
+    """
+
+    name: str
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(
+                f"clock frequency must be positive, got {self.frequency_hz!r}"
+            )
+
+    @property
+    def period_s(self) -> float:
+        """Clock period (s)."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Duration of ``cycles`` clock cycles (s).
+
+        Raises:
+            ValueError: if ``cycles`` is negative.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycle count must be non-negative, got {cycles!r}")
+        return cycles * self.period_s
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Whole cycles needed to cover ``seconds`` (ceiling).
+
+        Raises:
+            ValueError: if ``seconds`` is negative.
+        """
+        if seconds < 0:
+            raise ValueError(f"duration must be non-negative, got {seconds!r}")
+        return math.ceil(seconds * self.frequency_hz - 1e-12)
+
+
+@dataclass(frozen=True)
+class DualClockSystem:
+    """The PCNNA fast/main clock pair.
+
+    Attributes:
+        fast: the optical-core domain (default 5 GHz).
+        main: the external-interface domain.
+    """
+
+    fast: ClockDomain = ClockDomain("fast", PCNNA_FAST_CLOCK_HZ)
+    main: ClockDomain = ClockDomain("main", PCNNA_MAIN_CLOCK_HZ)
+
+    def __post_init__(self) -> None:
+        if self.fast.frequency_hz < self.main.frequency_hz:
+            raise ValueError(
+                "fast domain must be at least as fast as the main domain: "
+                f"{self.fast.frequency_hz} < {self.main.frequency_hz}"
+            )
+
+    @property
+    def ratio(self) -> float:
+        """Fast-to-main frequency ratio."""
+        return self.fast.frequency_hz / self.main.frequency_hz
+
+    def crossing_latency_s(self, synchronizer_stages: int = 2) -> float:
+        """Latency of a signal crossing into the main domain (s).
+
+        A standard ``n``-flop synchronizer costs ``n`` destination-domain
+        cycles.
+
+        Raises:
+            ValueError: if ``synchronizer_stages`` is not positive.
+        """
+        if synchronizer_stages <= 0:
+            raise ValueError(
+                f"synchronizer needs at least one stage, got {synchronizer_stages!r}"
+            )
+        return synchronizer_stages * self.main.period_s

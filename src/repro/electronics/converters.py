@@ -1,0 +1,146 @@
+"""Data-converter models shared by the DAC and ADC.
+
+Both converters quantize to a fixed number of bits over a configurable
+full-scale range and convert at a fixed sample rate.  PCNNA's defaults
+come from the parts the paper cites:
+
+* DAC — 16-bit, 6 GSa/s, 0.52 mm^2 (Lin et al., ISSCC 2018);
+* ADC — 2.8 GSa/s time-interleaved, 44.6 mW (Stepanovic & Nikolic, JSSC
+  2013).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConverterSpec:
+    """Static parameters of a data converter.
+
+    Attributes:
+        resolution_bits: quantizer resolution.
+        sample_rate_hz: conversions per second.
+        full_scale_min: smallest representable analog value.
+        full_scale_max: largest representable analog value.
+        area_mm2: silicon area of one converter instance.
+        power_w: active power of one converter instance.
+    """
+
+    resolution_bits: int
+    sample_rate_hz: float
+    full_scale_min: float = 0.0
+    full_scale_max: float = 1.0
+    area_mm2: float = 0.0
+    power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits <= 0:
+            raise ValueError(
+                f"resolution must be positive bits, got {self.resolution_bits!r}"
+            )
+        if self.sample_rate_hz <= 0:
+            raise ValueError(
+                f"sample rate must be positive, got {self.sample_rate_hz!r}"
+            )
+        if self.full_scale_max <= self.full_scale_min:
+            raise ValueError(
+                "full-scale range must be non-empty: "
+                f"[{self.full_scale_min!r}, {self.full_scale_max!r}]"
+            )
+        if self.area_mm2 < 0:
+            raise ValueError(f"area must be non-negative, got {self.area_mm2!r}")
+        if self.power_w < 0:
+            raise ValueError(f"power must be non-negative, got {self.power_w!r}")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of quantization levels (2**bits)."""
+        return 1 << self.resolution_bits
+
+    @property
+    def full_scale_span(self) -> float:
+        """Width of the representable analog range."""
+        return self.full_scale_max - self.full_scale_min
+
+    @property
+    def lsb(self) -> float:
+        """Analog step per code (least significant bit)."""
+        return self.full_scale_span / (self.num_levels - 1)
+
+    @property
+    def sample_period_s(self) -> float:
+        """Time per conversion (s)."""
+        return 1.0 / self.sample_rate_hz
+
+    def conversion_time_s(self, num_samples: int) -> float:
+        """Time to convert ``num_samples`` values sequentially (s).
+
+        Raises:
+            ValueError: if ``num_samples`` is negative.
+        """
+        if num_samples < 0:
+            raise ValueError(
+                f"sample count must be non-negative, got {num_samples!r}"
+            )
+        return num_samples * self.sample_period_s
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Clip to full scale and snap to the nearest code's analog value."""
+        array = np.asarray(values, dtype=float)
+        clipped = np.clip(array, self.full_scale_min, self.full_scale_max)
+        codes = np.round((clipped - self.full_scale_min) / self.lsb)
+        return self.full_scale_min + codes * self.lsb
+
+    def encode(self, values: np.ndarray | float) -> np.ndarray:
+        """Clip to full scale and return integer codes in [0, 2**bits - 1]."""
+        array = np.asarray(values, dtype=float)
+        clipped = np.clip(array, self.full_scale_min, self.full_scale_max)
+        return np.round((clipped - self.full_scale_min) / self.lsb).astype(np.int64)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer codes back to analog values.
+
+        Raises:
+            ValueError: if any code is out of range.
+        """
+        array = np.asarray(codes)
+        if np.any(array < 0) or np.any(array >= self.num_levels):
+            raise ValueError(
+                f"codes must be in [0, {self.num_levels}), got range "
+                f"[{array.min()}, {array.max()}]"
+            )
+        return self.full_scale_min + array.astype(float) * self.lsb
+
+
+PCNNA_INPUT_DAC = ConverterSpec(
+    resolution_bits=16,
+    sample_rate_hz=6e9,
+    full_scale_min=0.0,
+    full_scale_max=1.0,
+    area_mm2=0.52,
+    power_w=0.330,
+)
+"""The 16 b / 6 GSa/s input DAC the paper adopts (Lin et al. 2018)."""
+
+PCNNA_WEIGHT_DAC = ConverterSpec(
+    resolution_bits=16,
+    sample_rate_hz=6e9,
+    full_scale_min=-1.0,
+    full_scale_max=1.0,
+    area_mm2=0.52,
+    power_w=0.330,
+)
+"""Kernel-weight DAC: same part, bipolar full scale for signed weights."""
+
+PCNNA_OUTPUT_ADC = ConverterSpec(
+    resolution_bits=12,
+    sample_rate_hz=2.8e9,
+    full_scale_min=-1.0,
+    full_scale_max=1.0,
+    area_mm2=0.44,
+    power_w=0.0446,
+)
+"""The 2.8 GSa/s output ADC the paper adopts (Stepanovic & Nikolic 2013)."""

@@ -1,0 +1,99 @@
+"""Digital-to-analog converter array: the PCNNA front-end bottleneck.
+
+The paper identifies the input DACs as the full-system speed limit
+(section V-B): for every kernel location, the newly required receptive-
+field values must each pass through one of ``num_dacs`` converters at the
+DAC sample rate.  :class:`DacArray` models that array, including the
+round-robin scheduling that divides ``n`` conversions over ``num_dacs``
+parallel converters — reproducing equation (8)'s
+``n_updated / num_dacs`` serialization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.electronics.converters import PCNNA_INPUT_DAC, ConverterSpec
+
+
+@dataclass(frozen=True)
+class DacConversion:
+    """Result of scheduling a batch of conversions on a DAC array.
+
+    Attributes:
+        num_values: values converted.
+        per_dac_values: worst-case values handled by a single DAC.
+        time_s: wall-clock time for the batch (set by the busiest DAC).
+    """
+
+    num_values: int
+    per_dac_values: int
+    time_s: float
+
+
+class DacArray:
+    """``num_dacs`` identical DACs converting values in parallel.
+
+    Args:
+        num_dacs: number of parallel converters (paper default: 10 input
+            DACs + 1 weight DAC modeled as separate arrays).
+        spec: converter electrical/timing parameters.
+    """
+
+    def __init__(self, num_dacs: int, spec: ConverterSpec | None = None) -> None:
+        if num_dacs <= 0:
+            raise ValueError(f"need at least one DAC, got {num_dacs!r}")
+        self.num_dacs = num_dacs
+        self.spec = spec if spec is not None else PCNNA_INPUT_DAC
+
+    def schedule(self, num_values: int) -> DacConversion:
+        """Schedule ``num_values`` conversions round-robin over the array.
+
+        The batch time is the busiest converter's sequential time:
+        ``ceil(num_values / num_dacs) * sample_period``.
+
+        Raises:
+            ValueError: if ``num_values`` is negative.
+        """
+        if num_values < 0:
+            raise ValueError(f"value count must be non-negative, got {num_values!r}")
+        per_dac = math.ceil(num_values / self.num_dacs)
+        return DacConversion(
+            num_values=num_values,
+            per_dac_values=per_dac,
+            time_s=per_dac * self.spec.sample_period_s,
+        )
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Quantize a batch of digital values to their analog levels."""
+        return self.spec.quantize(values)
+
+    def average_conversion_time_s(self, num_values: int) -> float:
+        """Idealized (non-integer) batch time ``num_values / (rate * dacs)``.
+
+        This is the formula the paper uses in equation (8), which divides
+        exactly rather than taking the per-DAC ceiling; both are exposed so
+        the analytical model can match the paper and the cycle simulator
+        can be exact.
+        """
+        if num_values < 0:
+            raise ValueError(f"value count must be non-negative, got {num_values!r}")
+        return num_values / (self.spec.sample_rate_hz * self.num_dacs)
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total silicon area of the array (mm^2)."""
+        return self.num_dacs * self.spec.area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        """Total active power of the array (W)."""
+        return self.num_dacs * self.spec.power_w
+
+    @property
+    def aggregate_rate_hz(self) -> float:
+        """Aggregate conversion throughput (samples/s)."""
+        return self.num_dacs * self.spec.sample_rate_hz

@@ -1,0 +1,131 @@
+"""Off-chip DRAM model.
+
+PCNNA keeps kernel weights, input feature maps, and convolution results in
+off-chip DRAM (paper Fig. 4).  The model is a bandwidth/latency pipe with
+traffic accounting: transfers pay a fixed row-activation latency plus a
+size-proportional streaming term, and every byte moved is tallied so the
+benchmarks can report memory traffic per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Static DRAM channel parameters (DDR3-1600-class defaults).
+
+    Attributes:
+        bandwidth_bytes_per_s: sustained streaming bandwidth.
+        access_latency_s: fixed latency per transfer (row activate + CAS).
+        energy_per_byte_j: access energy per byte moved.
+    """
+
+    bandwidth_bytes_per_s: float = 12.8e9
+    access_latency_s: float = 50e-9
+    energy_per_byte_j: float = 70e-12
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_s!r}"
+            )
+        if self.access_latency_s < 0:
+            raise ValueError(
+                f"latency must be non-negative, got {self.access_latency_s!r}"
+            )
+        if self.energy_per_byte_j < 0:
+            raise ValueError(
+                f"energy must be non-negative, got {self.energy_per_byte_j!r}"
+            )
+
+
+@dataclass
+class DramStats:
+    """Mutable traffic counters for one DRAM channel.
+
+    Attributes:
+        bytes_read: total bytes streamed out of DRAM.
+        bytes_written: total bytes streamed into DRAM.
+        transfers: number of discrete transfers issued.
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    transfers: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
+
+class Dram:
+    """An off-chip DRAM channel with timing, energy, and traffic stats."""
+
+    def __init__(self, spec: DramSpec | None = None) -> None:
+        self.spec = spec if spec is not None else DramSpec()
+        self.stats = DramStats()
+
+    def transfer_time_s(self, num_bytes: int) -> float:
+        """Latency of one transfer of ``num_bytes`` (s).
+
+        Raises:
+            ValueError: if ``num_bytes`` is negative.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes!r}")
+        if num_bytes == 0:
+            return 0.0
+        return self.spec.access_latency_s + num_bytes / self.spec.bandwidth_bytes_per_s
+
+    def read(self, num_bytes: int) -> float:
+        """Account a read transfer; returns its latency (s)."""
+        time_s = self.transfer_time_s(num_bytes)
+        self.stats.bytes_read += num_bytes
+        self.stats.transfers += 1
+        return time_s
+
+    def write(self, num_bytes: int) -> float:
+        """Account a write transfer; returns its latency (s)."""
+        time_s = self.transfer_time_s(num_bytes)
+        self.stats.bytes_written += num_bytes
+        self.stats.transfers += 1
+        return time_s
+
+    def stream_time_s(self, num_bytes: int) -> float:
+        """Bandwidth-only streaming time, no fixed latency (s).
+
+        Used for per-location burst transfers inside an open row, where
+        the row-activation latency is paid once per burst sequence rather
+        than per transfer.
+
+        Raises:
+            ValueError: if ``num_bytes`` is negative.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes!r}")
+        return num_bytes / self.spec.bandwidth_bytes_per_s
+
+    def stream_read(self, num_bytes: int) -> float:
+        """Account a streaming read; returns bandwidth-only latency (s)."""
+        time_s = self.stream_time_s(num_bytes)
+        self.stats.bytes_read += num_bytes
+        self.stats.transfers += 1
+        return time_s
+
+    def stream_write(self, num_bytes: int) -> float:
+        """Account a streaming write; returns bandwidth-only latency (s)."""
+        time_s = self.stream_time_s(num_bytes)
+        self.stats.bytes_written += num_bytes
+        self.stats.transfers += 1
+        return time_s
+
+    def energy_j(self) -> float:
+        """Total access energy for all traffic so far (J)."""
+        return self.stats.total_bytes * self.spec.energy_per_byte_j
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters."""
+        self.stats = DramStats()

@@ -1,0 +1,148 @@
+"""On-chip SRAM cache model.
+
+PCNNA caches receptive-field values "in small but fast cache memory"
+before digital-to-analog conversion.  The paper adopts a 128 kb SRAM
+macro (Fukuda et al., ISSCC 2014): 8 K 16-bit words, 7 ns access time,
+0.443 mm^2, 25 uW/MHz.  :class:`SramCache` models capacity, access
+latency, and hit/miss + energy accounting for the scheduler's
+stride-reuse working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SramSpec:
+    """Static SRAM macro parameters.
+
+    Attributes:
+        capacity_bits: total storage (bits).
+        word_bits: word width (bits) — PCNNA stores 16-bit values.
+        access_time_s: read/write latency.
+        area_mm2: macro area.
+        power_per_mhz_w: active power per MHz of access rate.
+    """
+
+    capacity_bits: int = 128 * 1024
+    word_bits: int = 16
+    access_time_s: float = 7e-9
+    area_mm2: float = 0.443
+    power_per_mhz_w: float = 25e-6
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {self.capacity_bits!r}"
+            )
+        if self.word_bits <= 0:
+            raise ValueError(f"word width must be positive, got {self.word_bits!r}")
+        if self.access_time_s <= 0:
+            raise ValueError(
+                f"access time must be positive, got {self.access_time_s!r}"
+            )
+
+    @property
+    def capacity_words(self) -> int:
+        """Number of words the macro can hold (8192 for the default)."""
+        return self.capacity_bits // self.word_bits
+
+
+@dataclass
+class SramStats:
+    """Mutable access counters for one cache instance.
+
+    Attributes:
+        reads: completed read accesses.
+        writes: completed write accesses.
+        hits: reads that found their key resident.
+        misses: reads that did not.
+        evictions: entries displaced by capacity pressure.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads that hit; 0.0 when no reads occurred."""
+        if self.reads == 0:
+            return 0.0
+        return self.hits / self.reads
+
+
+class SramCache:
+    """A word-addressed SRAM with FIFO replacement and access accounting.
+
+    Keys are arbitrary hashables (the scheduler uses input-tensor flat
+    indices); each key occupies one word.  FIFO replacement matches the
+    streaming receptive-field access pattern, where the oldest stride
+    column is exactly the one that will never be touched again.
+    """
+
+    def __init__(self, spec: SramSpec | None = None) -> None:
+        self.spec = spec if spec is not None else SramSpec()
+        self.stats = SramStats()
+        self._resident: dict[object, None] = {}
+
+    @property
+    def capacity_words(self) -> int:
+        """Capacity in words."""
+        return self.spec.capacity_words
+
+    @property
+    def occupancy(self) -> int:
+        """Words currently resident."""
+        return len(self._resident)
+
+    def contains(self, key: object) -> bool:
+        """Whether ``key`` is resident (no counter side effects)."""
+        return key in self._resident
+
+    def read(self, key: object) -> bool:
+        """Read ``key``; returns True on hit, False on miss."""
+        self.stats.reads += 1
+        if key in self._resident:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def write(self, key: object) -> None:
+        """Install ``key``, evicting the oldest entry if at capacity."""
+        self.stats.writes += 1
+        if key in self._resident:
+            return
+        if len(self._resident) >= self.capacity_words:
+            oldest = next(iter(self._resident))
+            del self._resident[oldest]
+            self.stats.evictions += 1
+        self._resident[key] = None
+
+    def invalidate(self) -> None:
+        """Drop all resident entries (e.g. at a layer boundary)."""
+        self._resident.clear()
+
+    def access_time_s(self, num_accesses: int = 1) -> float:
+        """Latency of ``num_accesses`` sequential accesses (s).
+
+        Raises:
+            ValueError: if ``num_accesses`` is negative.
+        """
+        if num_accesses < 0:
+            raise ValueError(
+                f"access count must be non-negative, got {num_accesses!r}"
+            )
+        return num_accesses * self.spec.access_time_s
+
+    def active_power_w(self, access_rate_hz: float) -> float:
+        """Active power at a sustained access rate (W)."""
+        if access_rate_hz < 0:
+            raise ValueError(
+                f"access rate must be non-negative, got {access_rate_hz!r}"
+            )
+        return self.spec.power_per_mhz_w * (access_rate_hz / 1e6)

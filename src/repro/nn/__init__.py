@@ -1,0 +1,54 @@
+"""From-scratch NumPy CNN inference substrate.
+
+Provides the functional ops, layer objects, sequential network container,
+im2col machinery, the paper's Table I parameter dataclass, and reference
+model builders (AlexNet with the paper's shapes, LeNet-5, VGG-16).
+"""
+
+from repro.nn import functional
+from repro.nn.im2col import col2im_accumulate, im2col, receptive_field_indices
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.models import build_alexnet, build_lenet5, build_vgg16
+from repro.nn.network import LayerActivation, Network
+from repro.nn.quantize import (
+    QuantizedTensor,
+    quantization_error,
+    quantize_network_weights,
+    quantize_tensor,
+)
+from repro.nn.shapes import ConvLayerSpec, conv_output_side
+
+__all__ = [
+    "functional",
+    "col2im_accumulate",
+    "im2col",
+    "receptive_field_indices",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "LocalResponseNorm",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "build_alexnet",
+    "build_lenet5",
+    "build_vgg16",
+    "LayerActivation",
+    "Network",
+    "QuantizedTensor",
+    "quantization_error",
+    "quantize_network_weights",
+    "quantize_tensor",
+    "ConvLayerSpec",
+    "conv_output_side",
+]

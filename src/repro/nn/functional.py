@@ -1,0 +1,217 @@
+"""Functional (stateless) neural-network operations, NumPy only.
+
+These are the numerical references the photonic simulation is validated
+against.  ``conv2d`` exists in two implementations — a readable direct
+loop and an im2col matrix multiply — which are property-tested against
+each other; the fast one backs the layer objects.
+
+Layout conventions: feature maps ``(C, H, W)``, kernels
+``(K, C, m, m)``, dense weights ``(out_features, in_features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.im2col import im2col, pad_feature_map
+from repro.nn.shapes import conv_output_side
+
+
+def conv2d(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """2-D convolution (cross-correlation) via im2col.
+
+    Args:
+        feature_map: input of shape ``(C, H, W)``.
+        kernels: weights of shape ``(K, C, m, m)`` with square kernels.
+        stride: spatial stride.
+        padding: zero padding.
+        bias: optional per-kernel bias of shape ``(K,)``.
+
+    Returns:
+        Output of shape ``(K, out_side, out_side)``.
+
+    Raises:
+        ValueError: on shape mismatches.
+    """
+    _check_conv_shapes(feature_map, kernels)
+    num_kernels, channels, kernel_size, _ = kernels.shape
+    _, height, width = feature_map.shape
+
+    columns = im2col(feature_map, kernel_size, stride, padding)
+    weight_matrix = kernels.reshape(num_kernels, -1)
+    output = weight_matrix @ columns
+    if bias is not None:
+        if bias.shape != (num_kernels,):
+            raise ValueError(
+                f"bias must have shape ({num_kernels},), got {bias.shape}"
+            )
+        output += bias[:, None]
+
+    out_h = conv_output_side(height, kernel_size, padding, stride)
+    out_w = conv_output_side(width, kernel_size, padding, stride)
+    return output.reshape(num_kernels, out_h, out_w)
+
+
+def conv2d_direct(
+    feature_map: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """2-D convolution via explicit loops (reference for testing).
+
+    Same contract as :func:`conv2d`; quadratically slower, transparently
+    correct.
+    """
+    _check_conv_shapes(feature_map, kernels)
+    num_kernels, channels, kernel_size, _ = kernels.shape
+    _, height, width = feature_map.shape
+    padded = pad_feature_map(feature_map, padding)
+
+    out_h = conv_output_side(height, kernel_size, padding, stride)
+    out_w = conv_output_side(width, kernel_size, padding, stride)
+    output = np.zeros((num_kernels, out_h, out_w), dtype=float)
+    for k in range(num_kernels):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                window = padded[
+                    :,
+                    oy * stride : oy * stride + kernel_size,
+                    ox * stride : ox * stride + kernel_size,
+                ]
+                output[k, oy, ox] = float(np.sum(window * kernels[k]))
+        if bias is not None:
+            output[k] += bias[k]
+    return output
+
+
+def _check_conv_shapes(feature_map: np.ndarray, kernels: np.ndarray) -> None:
+    """Validate conv input/kernel tensor shapes."""
+    if feature_map.ndim != 3:
+        raise ValueError(
+            f"feature map must be (C, H, W), got shape {feature_map.shape}"
+        )
+    if kernels.ndim != 4:
+        raise ValueError(
+            f"kernels must be (K, C, m, m), got shape {kernels.shape}"
+        )
+    if kernels.shape[2] != kernels.shape[3]:
+        raise ValueError(f"kernels must be square, got {kernels.shape[2:]}")
+    if kernels.shape[1] != feature_map.shape[0]:
+        raise ValueError(
+            f"kernel channels {kernels.shape[1]} != input channels "
+            f"{feature_map.shape[0]}"
+        )
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Rectified linear unit: ``max(x, 0)`` elementwise."""
+    return np.maximum(values, 0.0)
+
+
+def max_pool2d(
+    feature_map: np.ndarray, pool_size: int, stride: int | None = None
+) -> np.ndarray:
+    """Max pooling over non-overlapping or strided square windows.
+
+    Args:
+        feature_map: input of shape ``(C, H, W)``.
+        pool_size: pooling window side.
+        stride: window step; defaults to ``pool_size``.
+
+    Returns:
+        Pooled tensor of shape ``(C, out_h, out_w)``.
+    """
+    if feature_map.ndim != 3:
+        raise ValueError(
+            f"feature map must be (C, H, W), got shape {feature_map.shape}"
+        )
+    if pool_size <= 0:
+        raise ValueError(f"pool size must be positive, got {pool_size!r}")
+    step = stride if stride is not None else pool_size
+    if step <= 0:
+        raise ValueError(f"stride must be positive, got {step!r}")
+    channels, height, width = feature_map.shape
+    out_h = (height - pool_size) // step + 1
+    out_w = (width - pool_size) // step + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"pool window {pool_size} does not fit input {height}x{width}"
+        )
+    output = np.empty((channels, out_h, out_w), dtype=feature_map.dtype)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = feature_map[
+                :, oy * step : oy * step + pool_size, ox * step : ox * step + pool_size
+            ]
+            output[:, oy, ox] = window.max(axis=(1, 2))
+    return output
+
+
+def local_response_norm(
+    feature_map: np.ndarray,
+    size: int = 5,
+    alpha: float = 1e-4,
+    beta: float = 0.75,
+    k: float = 2.0,
+) -> np.ndarray:
+    """AlexNet-style local response normalization across channels.
+
+    ``b_c = a_c / (k + alpha/size * sum_{c'} a_{c'}^2) ** beta`` where the
+    sum runs over ``size`` channels centered on ``c``.
+    """
+    if feature_map.ndim != 3:
+        raise ValueError(
+            f"feature map must be (C, H, W), got shape {feature_map.shape}"
+        )
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size!r}")
+    channels = feature_map.shape[0]
+    squared = feature_map.astype(float) ** 2
+    half = size // 2
+    denom = np.empty_like(squared)
+    for c in range(channels):
+        lo = max(0, c - half)
+        hi = min(channels, c + half + 1)
+        denom[c] = squared[lo:hi].sum(axis=0)
+    return feature_map / (k + (alpha / size) * denom) ** beta
+
+
+def linear(
+    inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Fully-connected layer: ``W @ x + b``.
+
+    Args:
+        inputs: vector of shape ``(in_features,)``.
+        weights: matrix of shape ``(out_features, in_features)``.
+        bias: optional vector of shape ``(out_features,)``.
+    """
+    if inputs.ndim != 1:
+        raise ValueError(f"inputs must be a vector, got shape {inputs.shape}")
+    if weights.ndim != 2 or weights.shape[1] != inputs.shape[0]:
+        raise ValueError(
+            f"weights {weights.shape} incompatible with inputs {inputs.shape}"
+        )
+    output = weights @ inputs
+    if bias is not None:
+        if bias.shape != (weights.shape[0],):
+            raise ValueError(
+                f"bias must have shape ({weights.shape[0]},), got {bias.shape}"
+            )
+        output = output + bias
+    return output
+
+
+def softmax(values: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    shifted = values - values.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)

@@ -1,0 +1,149 @@
+"""im2col / col2im transformations.
+
+``im2col`` unrolls every receptive field of a convolution input into one
+column of a matrix, turning convolution into a single matrix multiply.
+This is both how the reference CNN engine computes convolutions quickly
+and how PCNNA's scheduler thinks: each im2col column *is* the receptive
+field that gets loaded into the input buffer and broadcast to the weight
+banks for one kernel location.
+
+Layout conventions: feature maps are ``(channels, height, width)``;
+kernels are ``(num_kernels, channels, kh, kw)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.shapes import conv_output_side
+
+
+def pad_feature_map(feature_map: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of a ``(C, H, W)`` tensor.
+
+    Raises:
+        ValueError: if the tensor is not 3-D or padding is negative.
+    """
+    if feature_map.ndim != 3:
+        raise ValueError(
+            f"expected (channels, height, width), got shape {feature_map.shape}"
+        )
+    if padding < 0:
+        raise ValueError(f"padding must be non-negative, got {padding!r}")
+    if padding == 0:
+        return feature_map
+    return np.pad(
+        feature_map,
+        ((0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def receptive_field_indices(
+    height: int,
+    width: int,
+    channels: int,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Flat padded-input indices of every receptive field.
+
+    Returns:
+        Integer array of shape ``(num_locations, channels * k * k)``; row
+        ``i`` lists, in (channel, row, col) order, the flat indices into
+        the *padded* ``(C, H + 2p, W + 2p)`` tensor that form receptive
+        field ``i`` (locations scan row-major).
+
+    This index map is shared by the reference conv, the photonic
+    functional simulation, and the scheduler, guaranteeing all three agree
+    on what "receptive field i" means.
+    """
+    out_h = conv_output_side(height, kernel_size, padding, stride)
+    out_w = conv_output_side(width, kernel_size, padding, stride)
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+
+    # Flat index of (c, y, x) in the padded tensor is c*ph*pw + y*pw + x.
+    channel_offsets = np.arange(channels) * (padded_h * padded_w)
+    ky, kx = np.meshgrid(
+        np.arange(kernel_size), np.arange(kernel_size), indexing="ij"
+    )
+    within_field = (
+        channel_offsets[:, None, None] + ky[None] * padded_w + kx[None]
+    ).reshape(-1)
+
+    oy, ox = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    location_origins = (oy * stride * padded_w + ox * stride).reshape(-1)
+
+    return location_origins[:, None] + within_field[None, :]
+
+
+def im2col(
+    feature_map: np.ndarray, kernel_size: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unroll receptive fields into columns.
+
+    Args:
+        feature_map: input tensor of shape ``(C, H, W)``.
+        kernel_size: square kernel side ``m``.
+        stride: stride ``s``.
+        padding: zero padding ``p``.
+
+    Returns:
+        Array of shape ``(C * m * m, num_locations)`` whose column ``i``
+        is receptive field ``i``.
+    """
+    if feature_map.ndim != 3:
+        raise ValueError(
+            f"expected (channels, height, width), got shape {feature_map.shape}"
+        )
+    channels, height, width = feature_map.shape
+    if height != width:
+        # The paper assumes square maps; the index math below supports
+        # rectangles, so we do too.
+        pass
+    padded = pad_feature_map(feature_map, padding)
+    indices = receptive_field_indices(
+        height, width, channels, kernel_size, stride, padding
+    )
+    return padded.reshape(-1)[indices].T
+
+
+def col2im_accumulate(
+    columns: np.ndarray,
+    input_shape: tuple[int, int, int],
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add columns back into a feature map (inverse of im2col).
+
+    Overlapping receptive fields accumulate, which is the adjoint of the
+    im2col gather; used by tests to verify the index map is a bijection
+    over non-overlapping geometries.
+
+    Args:
+        columns: array of shape ``(C * m * m, num_locations)``.
+        input_shape: the original ``(C, H, W)``.
+
+    Returns:
+        Tensor of shape ``(C, H, W)``.
+    """
+    channels, height, width = input_shape
+    indices = receptive_field_indices(
+        height, width, channels, kernel_size, stride, padding
+    )
+    if columns.shape != (indices.shape[1], indices.shape[0]):
+        raise ValueError(
+            f"columns shape {columns.shape} does not match geometry "
+            f"{(indices.shape[1], indices.shape[0])}"
+        )
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+    flat = np.zeros(channels * padded_h * padded_w, dtype=columns.dtype)
+    np.add.at(flat, indices.reshape(-1), columns.T.reshape(-1))
+    padded = flat.reshape(channels, padded_h, padded_w)
+    if padding == 0:
+        return padded
+    return padded[:, padding:-padding, padding:-padding]

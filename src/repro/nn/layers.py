@@ -1,0 +1,277 @@
+"""Layer objects: stateful wrappers around the functional ops.
+
+Each layer knows its parameters, can infer its output shape from an input
+shape (so whole networks can be shape-checked without running data), and
+exposes ``conv_spec()`` where applicable so the PCNNA analytical models
+can consume a network directly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.shapes import ConvLayerSpec, conv_output_side
+
+
+class Layer(abc.ABC):
+    """Base class for all network layers."""
+
+    name: str = "layer"
+
+    @abc.abstractmethod
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``inputs``."""
+
+    @abc.abstractmethod
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Infer the output shape for a given input shape.
+
+        Raises:
+            ValueError: if ``input_shape`` is incompatible with the layer.
+        """
+
+    def num_parameters(self) -> int:
+        """Number of learnable parameters (0 for stateless layers)."""
+        return 0
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Conv2D(Layer):
+    """Square 2-D convolution layer.
+
+    Args:
+        weights: kernel tensor of shape ``(K, C, m, m)``.
+        stride: spatial stride.
+        padding: zero padding.
+        bias: optional per-kernel bias ``(K,)``.
+        name: layer label.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+        bias: np.ndarray | None = None,
+        name: str = "conv",
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 4 or weights.shape[2] != weights.shape[3]:
+            raise ValueError(
+                f"weights must be (K, C, m, m) with square kernels, got "
+                f"{weights.shape}"
+            )
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride!r}")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding!r}")
+        self.weights = weights
+        self.stride = stride
+        self.padding = padding
+        self.bias = None if bias is None else np.asarray(bias, dtype=float)
+        self.name = name
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of kernels ``K``."""
+        return self.weights.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        """Input channel count ``nc``."""
+        return self.weights.shape[1]
+
+    @property
+    def kernel_size(self) -> int:
+        """Kernel side ``m``."""
+        return self.weights.shape[2]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = F.conv2d(inputs, self.weights, self.stride, self.padding, self.bias)
+        return output
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3 or input_shape[0] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (C={self.in_channels}, H, W), got "
+                f"{input_shape}"
+            )
+        _, height, width = input_shape
+        out_h = conv_output_side(height, self.kernel_size, self.padding, self.stride)
+        out_w = conv_output_side(width, self.kernel_size, self.padding, self.stride)
+        return (self.num_kernels, out_h, out_w)
+
+    def num_parameters(self) -> int:
+        count = self.weights.size
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+    def conv_spec(self, input_side: int) -> ConvLayerSpec:
+        """The paper-notation :class:`ConvLayerSpec` for this layer.
+
+        Args:
+            input_side: the square input side ``n`` the layer will see.
+        """
+        return ConvLayerSpec(
+            name=self.name,
+            n=input_side,
+            m=self.kernel_size,
+            nc=self.in_channels,
+            num_kernels=self.num_kernels,
+            s=self.stride,
+            p=self.padding,
+        )
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self, name: str = "relu") -> None:
+        self.name = name
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return F.relu(inputs)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class MaxPool2D(Layer):
+    """Square max pooling."""
+
+    def __init__(
+        self, pool_size: int, stride: int | None = None, name: str = "maxpool"
+    ) -> None:
+        if pool_size <= 0:
+            raise ValueError(f"pool size must be positive, got {pool_size!r}")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride!r}")
+        self.name = name
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(inputs, self.pool_size, self.stride)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ValueError(f"{self.name}: expected (C, H, W), got {input_shape}")
+        channels, height, width = input_shape
+        out_h = (height - self.pool_size) // self.stride + 1
+        out_w = (width - self.pool_size) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"{self.name}: window {self.pool_size} does not fit {input_shape}"
+            )
+        return (channels, out_h, out_w)
+
+
+class LocalResponseNorm(Layer):
+    """AlexNet cross-channel local response normalization."""
+
+    def __init__(
+        self,
+        size: int = 5,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        k: float = 2.0,
+        name: str = "lrn",
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size!r}")
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.name = name
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return F.local_response_norm(
+            inputs, self.size, self.alpha, self.beta, self.k
+        )
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+class Flatten(Layer):
+    """Reshape any tensor to a vector."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        self.name = name
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.reshape(-1)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+
+class Dense(Layer):
+    """Fully-connected layer."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        bias: np.ndarray | None = None,
+        name: str = "dense",
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError(
+                f"weights must be (out_features, in_features), got {weights.shape}"
+            )
+        self.weights = weights
+        self.bias = None if bias is None else np.asarray(bias, dtype=float)
+        self.name = name
+
+    @property
+    def in_features(self) -> int:
+        """Input vector length."""
+        return self.weights.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        """Output vector length."""
+        return self.weights.shape[0]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return F.linear(inputs, self.weights, self.bias)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ValueError(
+                f"{self.name}: expected ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def num_parameters(self) -> int:
+        count = self.weights.size
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+
+class Softmax(Layer):
+    """Softmax over the last axis."""
+
+    def __init__(self, name: str = "softmax") -> None:
+        self.name = name
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return F.softmax(inputs)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape

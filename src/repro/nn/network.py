@@ -1,0 +1,144 @@
+"""Sequential network container.
+
+A :class:`Network` is an ordered list of layers with whole-network shape
+inference, forward execution (optionally recording every intermediate
+feature map), and extraction of the conv-layer specs that the PCNNA
+analytical models and scheduler consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Layer
+from repro.nn.shapes import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class LayerActivation:
+    """One recorded forward-pass step.
+
+    Attributes:
+        layer_name: the producing layer's name.
+        output: the produced tensor.
+    """
+
+    layer_name: str
+    output: np.ndarray
+
+
+class Network:
+    """An ordered stack of layers applied sequentially.
+
+    Args:
+        layers: the layers, first-applied first.
+        input_shape: the shape of inputs the network expects; enables
+            construction-time shape checking of the whole stack.
+        name: network label.
+
+    Raises:
+        ValueError: if consecutive layers have incompatible shapes.
+    """
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        input_shape: tuple[int, ...],
+        name: str = "network",
+    ) -> None:
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.name = name
+        self._shapes = self._infer_shapes()
+
+    def _infer_shapes(self) -> list[tuple[int, ...]]:
+        """Propagate the input shape through every layer (validates)."""
+        shapes = [self.input_shape]
+        current = self.input_shape
+        for layer in self.layers:
+            current = layer.output_shape(current)
+            shapes.append(current)
+        return shapes
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Shape of the final layer's output."""
+        return self._shapes[-1]
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, ...]]:
+        """Input shape followed by every layer's output shape."""
+        return list(self._shapes)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the network on ``inputs`` and return the final output.
+
+        Raises:
+            ValueError: if ``inputs`` does not match ``input_shape``.
+        """
+        if inputs.shape != self.input_shape:
+            raise ValueError(
+                f"{self.name}: expected input shape {self.input_shape}, got "
+                f"{inputs.shape}"
+            )
+        current = inputs
+        for layer in self.layers:
+            current = layer.forward(current)
+        return current
+
+    def forward_recorded(self, inputs: np.ndarray) -> list[LayerActivation]:
+        """Run the network, recording every layer's output."""
+        if inputs.shape != self.input_shape:
+            raise ValueError(
+                f"{self.name}: expected input shape {self.input_shape}, got "
+                f"{inputs.shape}"
+            )
+        activations: list[LayerActivation] = []
+        current = inputs
+        for layer in self.layers:
+            current = layer.forward(current)
+            activations.append(LayerActivation(layer.name, current))
+        return activations
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def num_parameters(self) -> int:
+        """Total learnable parameters across all layers."""
+        return sum(layer.num_parameters() for layer in self.layers)
+
+    def conv_layers(self) -> list[Conv2D]:
+        """The convolution layers, in network order."""
+        return [layer for layer in self.layers if isinstance(layer, Conv2D)]
+
+    def conv_specs(self) -> list[ConvLayerSpec]:
+        """Paper-notation specs for every conv layer, in network order.
+
+        Each spec's ``n`` is derived from the actual feature-map side the
+        layer sees at its position in the stack.
+        """
+        specs = []
+        for layer, in_shape in zip(self.layers, self._shapes[:-1]):
+            if isinstance(layer, Conv2D):
+                if len(in_shape) != 3 or in_shape[1] != in_shape[2]:
+                    raise ValueError(
+                        f"{layer.name}: conv spec requires a square input, got "
+                        f"{in_shape}"
+                    )
+                specs.append(layer.conv_spec(input_side=in_shape[1]))
+        return specs
+
+    def summary(self) -> str:
+        """A human-readable multi-line architecture summary."""
+        lines = [f"{self.name}: input {self.input_shape}"]
+        for layer, out_shape in zip(self.layers, self._shapes[1:]):
+            params = layer.num_parameters()
+            lines.append(
+                f"  {layer.name:<12} -> {str(out_shape):<20} params={params}"
+            )
+        lines.append(f"  total parameters: {self.num_parameters()}")
+        return "\n".join(lines)

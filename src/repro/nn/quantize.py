@@ -1,0 +1,91 @@
+"""Fixed-point tensor quantization (the paper's 16-bit storage format).
+
+PCNNA stores feature maps and weights as 16-bit values in DRAM/SRAM.
+This module provides symmetric per-tensor fixed-point quantization with
+explicit scale bookkeeping, so the examples can run whole networks in the
+storage format and measure the accuracy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A fixed-point tensor with its dequantization scale.
+
+    Attributes:
+        codes: integer codes, symmetric around 0.
+        scale: real value per code step.
+        bits: quantizer resolution.
+    """
+
+    codes: np.ndarray
+    scale: float
+    bits: int
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the real-valued tensor."""
+        return self.codes.astype(float) * self.scale
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable magnitude code."""
+        return (1 << (self.bits - 1)) - 1
+
+
+def quantize_tensor(values: np.ndarray, bits: int = 16) -> QuantizedTensor:
+    """Symmetric per-tensor quantization to ``bits`` signed bits.
+
+    The scale maps the tensor's max magnitude to the top code, so zero is
+    represented exactly and the quantizer never clips.
+
+    Raises:
+        ValueError: if ``bits`` < 2.
+    """
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits, got {bits!r}")
+    array = np.asarray(values, dtype=float)
+    max_code = (1 << (bits - 1)) - 1
+    peak = float(np.max(np.abs(array))) if array.size else 0.0
+    if peak == 0.0:
+        scale = 1.0
+    else:
+        scale = peak / max_code
+    codes = np.round(array / scale).astype(np.int32)
+    codes = np.clip(codes, -max_code, max_code)
+    return QuantizedTensor(codes=codes, scale=scale, bits=bits)
+
+
+def quantization_error(values: np.ndarray, bits: int = 16) -> float:
+    """Max relative error of quantizing ``values`` at ``bits`` bits."""
+    array = np.asarray(values, dtype=float)
+    quantized = quantize_tensor(array, bits)
+    peak = float(np.max(np.abs(array))) if array.size else 1.0
+    if peak == 0.0:
+        return 0.0
+    return float(np.max(np.abs(quantized.dequantize() - array)) / peak)
+
+
+def quantize_network_weights(network, bits: int = 16) -> float:
+    """Quantize every Conv2D/Dense weight in place; returns worst error.
+
+    Args:
+        network: a :class:`~repro.nn.network.Network`.
+        bits: storage resolution.
+
+    Returns:
+        The largest per-tensor relative quantization error observed.
+    """
+    from repro.nn.layers import Conv2D, Dense
+
+    worst = 0.0
+    for layer in network.layers:
+        if isinstance(layer, (Conv2D, Dense)):
+            error = quantization_error(layer.weights, bits)
+            layer.weights = quantize_tensor(layer.weights, bits).dequantize()
+            worst = max(worst, error)
+    return worst

@@ -1,0 +1,154 @@
+"""Convolution-layer parameters and the paper's shape equations.
+
+:class:`ConvLayerSpec` is the reproduction of Table I of the PCNNA paper:
+it carries the parameters ``n`` (input height/width), ``m`` (kernel
+height/width), ``p`` (padding), ``s`` (stride), ``nc`` (input channels),
+and ``K`` (kernel count), and computes the derived sizes of equations
+(1)-(3) and (6):
+
+    Ninput  = n * n * nc                                   (eq. 1)
+    Nkernel = m * m * nc                                   (eq. 2)
+    Noutput = (floor((n + 2p - m) / s) + 1)^2 * K          (eq. 3)
+    Nlocs   = Noutput / K                                  (eq. 6)
+
+The paper assumes square feature maps and kernels; so does this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """Parameters of one square convolution layer (paper Table I).
+
+    Attributes:
+        name: human-readable layer label (e.g. ``"conv1"``).
+        n: input feature-map height and width.
+        m: kernel height and width.
+        nc: number of input channels.
+        num_kernels: number of kernels ``K``.
+        s: stride step size.
+        p: padding size.
+    """
+
+    name: str
+    n: int
+    m: int
+    nc: int
+    num_kernels: int
+    s: int = 1
+    p: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"{self.name}: input size must be positive, got {self.n}")
+        if self.m <= 0:
+            raise ValueError(
+                f"{self.name}: kernel size must be positive, got {self.m}"
+            )
+        if self.nc <= 0:
+            raise ValueError(
+                f"{self.name}: channel count must be positive, got {self.nc}"
+            )
+        if self.num_kernels <= 0:
+            raise ValueError(
+                f"{self.name}: kernel count must be positive, got {self.num_kernels}"
+            )
+        if self.s <= 0:
+            raise ValueError(f"{self.name}: stride must be positive, got {self.s}")
+        if self.p < 0:
+            raise ValueError(
+                f"{self.name}: padding must be non-negative, got {self.p}"
+            )
+        if self.m > self.n + 2 * self.p:
+            raise ValueError(
+                f"{self.name}: kernel ({self.m}) larger than padded input "
+                f"({self.n + 2 * self.p})"
+            )
+
+    # -- paper equations -----------------------------------------------------
+
+    @property
+    def n_input(self) -> int:
+        """Input feature-map size, eq. (1): ``n * n * nc``."""
+        return self.n * self.n * self.nc
+
+    @property
+    def n_kernel(self) -> int:
+        """Single-kernel size, eq. (2): ``m * m * nc``."""
+        return self.m * self.m * self.nc
+
+    @property
+    def output_side(self) -> int:
+        """Output feature-map side: ``floor((n + 2p - m) / s) + 1``."""
+        return (self.n + 2 * self.p - self.m) // self.s + 1
+
+    @property
+    def n_output(self) -> int:
+        """Output feature-map size, eq. (3): ``output_side^2 * K``."""
+        return self.output_side * self.output_side * self.num_kernels
+
+    @property
+    def n_locs(self) -> int:
+        """Kernel locations over the input, eq. (6): ``Noutput / K``."""
+        return self.output_side * self.output_side
+
+    # -- derived workload measures --------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for the full layer."""
+        return self.n_locs * self.n_kernel * self.num_kernels
+
+    @property
+    def total_weights(self) -> int:
+        """Total kernel weights in the layer: ``K * Nkernel``."""
+        return self.num_kernels * self.n_kernel
+
+    @property
+    def stride_update_values(self) -> int:
+        """New input values per kernel step, paper section V-B: ``nc * m * s``.
+
+        When the kernel slides by ``s`` columns, ``s`` new columns of the
+        ``m``-row window enter the receptive field across all channels.
+        """
+        return self.nc * self.m * self.s
+
+    def output_spec(self, name: str | None = None) -> "ConvLayerSpec":
+        """A spec template for a following layer fed by this one's output.
+
+        The follower sees ``output_side`` as ``n`` and ``num_kernels`` as
+        ``nc``; kernel geometry must be filled in by the caller via
+        :func:`dataclasses.replace`.
+        """
+        return ConvLayerSpec(
+            name=name if name is not None else f"{self.name}-next",
+            n=self.output_side,
+            m=1,
+            nc=self.num_kernels,
+            num_kernels=1,
+        )
+
+    def describe(self) -> str:
+        """One-line summary in the paper's notation."""
+        return (
+            f"{self.name}: n={self.n} m={self.m} p={self.p} s={self.s} "
+            f"nc={self.nc} K={self.num_kernels} | Ninput={self.n_input} "
+            f"Nkernel={self.n_kernel} Noutput={self.n_output} Nlocs={self.n_locs}"
+        )
+
+
+def conv_output_side(n: int, m: int, p: int, s: int) -> int:
+    """Output side of a square convolution: ``floor((n + 2p - m) / s) + 1``.
+
+    Raises:
+        ValueError: if the geometry is invalid (kernel larger than the
+            padded input, or non-positive sizes).
+    """
+    if n <= 0 or m <= 0 or s <= 0 or p < 0:
+        raise ValueError(f"invalid geometry: n={n}, m={m}, p={p}, s={s}")
+    if m > n + 2 * p:
+        raise ValueError(f"kernel {m} larger than padded input {n + 2 * p}")
+    return (n + 2 * p - m) // s + 1

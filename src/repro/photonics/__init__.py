@@ -1,0 +1,75 @@
+"""Photonic device substrate for the PCNNA reproduction.
+
+Implements the silicon-photonic components the paper's design rests on:
+microring resonators and weight banks (Tait et al. 2017), WDM sources and
+grids, Mach-Zehnder modulators, waveguides, photodiodes, and the
+broadcast-and-weight protocol that composes them into photonic
+multiply-and-accumulate units.
+"""
+
+from repro.photonics.broadcast_weight import (
+    BroadcastAndWeightLayer,
+    PhotonicMacUnit,
+)
+from repro.photonics.calibration import (
+    CalibrationResult,
+    calibrate_bank,
+    measure_effective_weights,
+)
+from repro.photonics.laser import LaserBank, LaserSpec
+from repro.photonics.link_budget import LinkBudget, max_banks_for_bits
+from repro.photonics.microring import Microring, MicroringDesign, rings_area_m2
+from repro.photonics.modulator import MachZehnderModulator, ModulatorSpec
+from repro.photonics.noise import IDEAL, NoiseConfig, ideal, realistic
+from repro.photonics.photodiode import (
+    BalancedPhotodetector,
+    Photodiode,
+    PhotodiodeSpec,
+)
+from repro.photonics.spectrum import (
+    BankSpectrum,
+    channel_isolation_db,
+    sweep_bank_spectrum,
+)
+from repro.photonics.thermal import (
+    ThermalModel,
+    thermal_weight_error,
+)
+from repro.photonics.waveguide import Splitter, Waveguide, cascade_transmission
+from repro.photonics.wdm import WdmGrid, channel_count_limit
+from repro.photonics.weight_bank import WeightBank
+
+__all__ = [
+    "BroadcastAndWeightLayer",
+    "PhotonicMacUnit",
+    "CalibrationResult",
+    "calibrate_bank",
+    "measure_effective_weights",
+    "LaserBank",
+    "LaserSpec",
+    "LinkBudget",
+    "max_banks_for_bits",
+    "BankSpectrum",
+    "channel_isolation_db",
+    "sweep_bank_spectrum",
+    "ThermalModel",
+    "thermal_weight_error",
+    "Microring",
+    "MicroringDesign",
+    "rings_area_m2",
+    "MachZehnderModulator",
+    "ModulatorSpec",
+    "IDEAL",
+    "NoiseConfig",
+    "ideal",
+    "realistic",
+    "BalancedPhotodetector",
+    "Photodiode",
+    "PhotodiodeSpec",
+    "Splitter",
+    "Waveguide",
+    "cascade_transmission",
+    "WdmGrid",
+    "channel_count_limit",
+    "WeightBank",
+]

@@ -1,0 +1,142 @@
+"""Physical constants and default device parameters for the photonic substrate.
+
+All values are in SI units unless the name says otherwise.  The device
+defaults follow the sources cited by the PCNNA paper:
+
+* microring geometry and footprint from Tait et al., "Neuromorphic photonic
+  networks using silicon photonic weight banks", Sci. Rep. 7, 7430 (2017)
+  (25 um x 25 um ring footprint, C-band operation);
+* photodiode speed from Fossum & Hondongwa (2014) (tens of GHz at 0 bias);
+* the 5 GHz fast-clock domain from the PCNNA paper itself.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Fundamental physical constants.
+# ---------------------------------------------------------------------------
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum (m/s)."""
+
+PLANCK_CONSTANT = 6.626_070_15e-34
+"""Planck constant (J*s)."""
+
+ELEMENTARY_CHARGE = 1.602_176_634e-19
+"""Elementary charge (C)."""
+
+BOLTZMANN_CONSTANT = 1.380_649e-23
+"""Boltzmann constant (J/K)."""
+
+ROOM_TEMPERATURE_K = 300.0
+"""Default ambient temperature (K)."""
+
+# ---------------------------------------------------------------------------
+# C-band WDM defaults (the band used by silicon-photonic weight banks).
+# ---------------------------------------------------------------------------
+
+C_BAND_CENTER_M = 1.550e-6
+"""Center wavelength of the C band (m)."""
+
+C_BAND_CENTER_HZ = SPEED_OF_LIGHT / C_BAND_CENTER_M
+"""Center frequency of the C band (Hz), roughly 193.4 THz."""
+
+DWDM_100GHZ_SPACING_HZ = 100e9
+"""ITU dense-WDM channel spacing used as the default grid (Hz)."""
+
+# ---------------------------------------------------------------------------
+# Microring defaults (Tait et al. 2017-class devices).
+# ---------------------------------------------------------------------------
+
+DEFAULT_RING_RADIUS_M = 10e-6
+"""Default microring radius (m)."""
+
+DEFAULT_RING_FOOTPRINT_M = 25e-6
+"""Side of the square footprint reserved per ring (m); paper uses 25 um."""
+
+DEFAULT_QUALITY_FACTOR = 8_000.0
+"""Default loaded quality factor of a weighting ring."""
+
+DEFAULT_GROUP_INDEX = 4.2
+"""Group index of a silicon strip waveguide near 1550 nm."""
+
+DEFAULT_EFFECTIVE_INDEX = 2.4
+"""Effective index of a silicon strip waveguide near 1550 nm."""
+
+# ---------------------------------------------------------------------------
+# Link-budget defaults.
+# ---------------------------------------------------------------------------
+
+DEFAULT_LASER_POWER_W = 1e-3
+"""Per-channel laser power (W); 0 dBm, a typical on-chip budget."""
+
+DEFAULT_WAVEGUIDE_LOSS_DB_PER_CM = 2.0
+"""Silicon strip waveguide propagation loss (dB/cm)."""
+
+DEFAULT_RESPONSIVITY_A_PER_W = 1.0
+"""Photodiode responsivity (A/W) near 1550 nm."""
+
+DEFAULT_TIA_BANDWIDTH_HZ = 10e9
+"""Transimpedance-amplifier bandwidth (Hz); > the 5 GHz fast clock."""
+
+DEFAULT_TIA_GAIN_OHM = 5_000.0
+"""Transimpedance gain (ohm)."""
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio expressed in dB to a linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value_linear: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if ``value_linear`` is not strictly positive.
+    """
+    if value_linear <= 0.0:
+        raise ValueError(f"dB of a non-positive ratio is undefined: {value_linear!r}")
+    import math
+
+    return 10.0 * math.log10(value_linear)
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert optical power in dBm to watts."""
+    return 1e-3 * db_to_linear(power_dbm)
+
+
+def watts_to_dbm(power_w: float) -> float:
+    """Convert optical power in watts to dBm.
+
+    Raises:
+        ValueError: if ``power_w`` is not strictly positive.
+    """
+    return linear_to_db(power_w / 1e-3)
+
+
+def wavelength_to_frequency(wavelength_m: float) -> float:
+    """Convert a vacuum wavelength (m) to frequency (Hz).
+
+    Raises:
+        ValueError: if ``wavelength_m`` is not strictly positive.
+    """
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m!r}")
+    return SPEED_OF_LIGHT / wavelength_m
+
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Convert a frequency (Hz) to vacuum wavelength (m).
+
+    Raises:
+        ValueError: if ``frequency_hz`` is not strictly positive.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def photon_energy(wavelength_m: float) -> float:
+    """Energy of a single photon at the given vacuum wavelength (J)."""
+    return PLANCK_CONSTANT * wavelength_to_frequency(wavelength_m)

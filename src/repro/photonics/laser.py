@@ -1,0 +1,100 @@
+"""Laser diode bank / WDM optical source.
+
+Each broadcast-and-weight input value is carried by a dedicated laser
+wavelength.  A :class:`LaserBank` owns one laser per channel of a
+:class:`~repro.photonics.wdm.WdmGrid` and produces the per-channel optical
+power vector that enters the modulators.  Laser relative-intensity noise
+(RIN) is modeled as a multiplicative Gaussian perturbation with variance
+``10**(RIN/10) * B`` over the receiver bandwidth ``B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.constants import DEFAULT_LASER_POWER_W, db_to_linear
+from repro.photonics.noise import NoiseConfig, ideal
+from repro.photonics.wdm import WdmGrid
+
+
+@dataclass(frozen=True)
+class LaserSpec:
+    """Static parameters of one laser diode.
+
+    Attributes:
+        power_w: emitted optical power (W).
+        wall_plug_efficiency: optical output power / electrical input power.
+        threshold_current_a: lasing threshold current (A), for power models.
+    """
+
+    power_w: float = DEFAULT_LASER_POWER_W
+    wall_plug_efficiency: float = 0.1
+    threshold_current_a: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise ValueError(f"laser power must be positive, got {self.power_w!r}")
+        if not 0 < self.wall_plug_efficiency <= 1:
+            raise ValueError(
+                "wall-plug efficiency must be in (0, 1], got "
+                f"{self.wall_plug_efficiency!r}"
+            )
+
+    @property
+    def electrical_power_w(self) -> float:
+        """Electrical power drawn to emit ``power_w`` of light (W)."""
+        return self.power_w / self.wall_plug_efficiency
+
+
+class LaserBank:
+    """One laser diode per WDM channel.
+
+    Args:
+        grid: the WDM grid the lasers sit on.
+        spec: per-laser parameters (shared by all lasers in the bank).
+        noise: noise configuration; only RIN applies to lasers.
+    """
+
+    def __init__(
+        self,
+        grid: WdmGrid,
+        spec: LaserSpec | None = None,
+        noise: NoiseConfig | None = None,
+    ) -> None:
+        self.grid = grid
+        self.spec = spec if spec is not None else LaserSpec()
+        self.noise = noise if noise is not None else ideal()
+
+    @property
+    def num_channels(self) -> int:
+        """Number of lasers in the bank."""
+        return self.grid.num_channels
+
+    def emit(self, receiver_bandwidth_hz: float = 5e9) -> np.ndarray:
+        """Emit the per-channel optical power vector (W).
+
+        Args:
+            receiver_bandwidth_hz: bandwidth over which RIN integrates;
+                only used when RIN is active.
+
+        Returns:
+            Array of shape ``(num_channels,)`` of non-negative powers.
+        """
+        powers = np.full(self.num_channels, self.spec.power_w, dtype=float)
+        if self.noise.rin_active:
+            rin_db = self.noise.relative_intensity_noise_db_per_hz
+            variance = db_to_linear(rin_db) * receiver_bandwidth_hz
+            sigma = np.sqrt(variance)
+            powers *= 1.0 + self.noise.rng.normal(0.0, sigma, self.num_channels)
+            np.clip(powers, 0.0, None, out=powers)
+        return powers
+
+    def total_electrical_power_w(self) -> float:
+        """Total electrical power drawn by the bank (W)."""
+        return self.num_channels * self.spec.electrical_power_w
+
+    def total_optical_power_w(self) -> float:
+        """Total emitted optical power (W), noise-free nominal value."""
+        return self.num_channels * self.spec.power_w

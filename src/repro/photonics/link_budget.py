@@ -1,0 +1,152 @@
+"""Optical link-budget and SNR analysis for a broadcast-and-weight link.
+
+An analog photonic MAC's precision is set by its signal-to-noise ratio.
+This module builds the full budget for one PCNNA link — laser, modulator,
+broadcast splitter, bus loss, bank, balanced receiver — and converts the
+resulting SNR into an *effective number of bits* (ENOB):
+
+    ENOB = (log2(SNR) - log2(3/2)) / 2          (ADC convention)
+
+which is the natural point of comparison with the paper's 16-bit
+electronic datapath.  The analysis exposes PCNNA's real scalability
+limit: splitting one broadcast over K banks divides the per-detector
+signal by K while the receiver noise floor stays fixed, so ENOB falls by
+half a bit per doubling of K.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.photonics.constants import db_to_linear
+from repro.photonics.laser import LaserSpec
+from repro.photonics.photodiode import PhotodiodeSpec
+from repro.photonics.waveguide import Waveguide
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """One broadcast-and-weight link's power and noise budget.
+
+    Attributes:
+        num_channels: WDM channels (receptive-field size).
+        num_banks: weight banks sharing the broadcast (kernel count K).
+        laser: per-channel source parameters.
+        photodiode: receiver parameters.
+        bus: waveguide between source and banks.
+        modulator_loss_db: modulator insertion loss.
+        excess_loss_db: additional lumped losses (couplers, bends).
+    """
+
+    num_channels: int
+    num_banks: int = 1
+    laser: LaserSpec = LaserSpec()
+    photodiode: PhotodiodeSpec = PhotodiodeSpec()
+    bus: Waveguide = Waveguide(length_m=0.0)
+    modulator_loss_db: float = 3.0
+    excess_loss_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError(
+                f"need at least one channel, got {self.num_channels!r}"
+            )
+        if self.num_banks <= 0:
+            raise ValueError(f"need at least one bank, got {self.num_banks!r}")
+        if self.modulator_loss_db < 0 or self.excess_loss_db < 0:
+            raise ValueError("losses must be non-negative")
+
+    # -- power budget --------------------------------------------------------
+
+    @property
+    def path_transmission(self) -> float:
+        """Source-to-detector power transmission for one channel."""
+        lumped = 1.0 / db_to_linear(self.modulator_loss_db + self.excess_loss_db)
+        split = 1.0 / self.num_banks
+        return lumped * self.bus.transmission * split
+
+    @property
+    def per_channel_power_at_detector_w(self) -> float:
+        """Optical power one fully-on channel delivers to one detector."""
+        return self.laser.power_w * self.path_transmission
+
+    @property
+    def total_power_at_detector_w(self) -> float:
+        """Worst-case (all channels fully on) power on one detector."""
+        return self.num_channels * self.per_channel_power_at_detector_w
+
+    @property
+    def signal_current_a(self) -> float:
+        """Full-scale balanced signal current (A).
+
+        Full scale is all channels at weight +1 and input 1 — the largest
+        dot product the link can represent.
+        """
+        return (
+            self.photodiode.responsivity_a_per_w * self.total_power_at_detector_w
+        )
+
+    # -- noise budget -------------------------------------------------------
+
+    @property
+    def noise_current_a(self) -> float:
+        """RMS receiver noise current (A): shot at full scale + thermal.
+
+        A balanced pair doubles the thermal contribution (two diodes) and
+        the shot noise follows the total incident power.
+        """
+        shot = self.photodiode.shot_noise_sigma_a(self.signal_current_a)
+        thermal = self.photodiode.thermal_noise_sigma_a()
+        return math.sqrt(shot**2 + 2.0 * thermal**2)
+
+    @property
+    def snr(self) -> float:
+        """Full-scale signal-to-noise power ratio."""
+        noise = self.noise_current_a
+        if noise == 0.0:
+            return math.inf
+        return (self.signal_current_a / noise) ** 2
+
+    @property
+    def snr_db(self) -> float:
+        """SNR in decibels."""
+        return 10.0 * math.log10(self.snr)
+
+    @property
+    def effective_bits(self) -> float:
+        """Effective number of bits of one analog MAC (ENOB)."""
+        return (self.snr_db - 1.76) / 6.02
+
+    def scaled_to_banks(self, num_banks: int) -> "LinkBudget":
+        """The same link budget with a different bank count."""
+        from dataclasses import replace
+
+        return replace(self, num_banks=num_banks)
+
+
+def max_banks_for_bits(
+    budget: LinkBudget, required_bits: float, max_banks: int = 1 << 20
+) -> int:
+    """Largest K for which the link still delivers ``required_bits`` ENOB.
+
+    The answer is the scalability limit of one broadcast: beyond it the
+    layer must be split over multiple sources.
+
+    Raises:
+        ValueError: if even a single bank cannot meet the requirement.
+    """
+    if budget.scaled_to_banks(1).effective_bits < required_bits:
+        raise ValueError(
+            f"even one bank delivers only "
+            f"{budget.scaled_to_banks(1).effective_bits:.2f} bits < "
+            f"{required_bits}"
+        )
+    low, high = 1, max_banks
+    while low < high:
+        mid = (low + high + 1) // 2
+        if budget.scaled_to_banks(mid).effective_bits >= required_bits:
+            low = mid
+        else:
+            high = mid - 1
+    return low

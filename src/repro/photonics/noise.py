@@ -1,0 +1,115 @@
+"""Composable noise / non-ideality configuration for the photonic substrate.
+
+Every non-ideality in the simulation is gated by a :class:`NoiseConfig` so
+the same code path can run in two modes:
+
+* **ideal** (the default) — every device is exact; the photonic MAC equals
+  the floating-point dot product bit-for-bit up to float rounding.  This is
+  the mode used to validate functional equivalence with the NumPy CNN.
+* **noisy** — shot noise, thermal noise, laser RIN, ring-tuning error and
+  inter-channel crosstalk are injected, for the robustness ablations.
+
+A shared :class:`numpy.random.Generator` keeps noisy runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class NoiseConfig:
+    """Switches and magnitudes for photonic non-idealities.
+
+    Attributes:
+        enabled: master switch; when ``False`` every device is ideal no
+            matter what the individual magnitudes say.
+        shot_noise: include photodiode shot noise.
+        thermal_noise: include receiver thermal (Johnson) noise.
+        relative_intensity_noise_db_per_hz: laser RIN spectral density in
+            dB/Hz; ``None`` disables RIN even when ``enabled``.
+        ring_tuning_sigma: standard deviation of multiplicative weight
+            error from imperfect ring tuning (e.g. 0.005 = 0.5 %).
+        crosstalk: include inter-channel Lorentzian crosstalk in weight
+            banks (deterministic, not random, but still a non-ideality).
+        seed: seed for the shared random generator.
+    """
+
+    enabled: bool = False
+    shot_noise: bool = True
+    thermal_noise: bool = True
+    relative_intensity_noise_db_per_hz: float | None = None
+    ring_tuning_sigma: float = 0.0
+    crosstalk: bool = False
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.ring_tuning_sigma < 0:
+            raise ValueError(
+                f"tuning sigma must be non-negative, got {self.ring_tuning_sigma!r}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The shared random generator used by all noisy devices."""
+        return self._rng
+
+    def reseed(self, seed: int) -> None:
+        """Reset the random generator to a fresh seed."""
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def shot_noise_active(self) -> bool:
+        """Whether shot noise should be injected."""
+        return self.enabled and self.shot_noise
+
+    @property
+    def thermal_noise_active(self) -> bool:
+        """Whether thermal noise should be injected."""
+        return self.enabled and self.thermal_noise
+
+    @property
+    def rin_active(self) -> bool:
+        """Whether laser relative-intensity noise should be injected."""
+        return self.enabled and self.relative_intensity_noise_db_per_hz is not None
+
+    @property
+    def tuning_error_active(self) -> bool:
+        """Whether ring-tuning weight error should be injected."""
+        return self.enabled and self.ring_tuning_sigma > 0.0
+
+    @property
+    def crosstalk_active(self) -> bool:
+        """Whether inter-channel crosstalk should be modeled."""
+        return self.enabled and self.crosstalk
+
+
+IDEAL = NoiseConfig(enabled=False)
+"""A shared ideal (noise-free) configuration."""
+
+
+def ideal() -> NoiseConfig:
+    """Return a fresh ideal configuration (all non-idealities off)."""
+    return NoiseConfig(enabled=False)
+
+
+def realistic(seed: int = 0) -> NoiseConfig:
+    """Return a configuration with typical magnitudes for every effect.
+
+    Magnitudes follow common silicon-photonics numbers: -140 dB/Hz RIN,
+    0.5 % ring-tuning error, crosstalk on.
+    """
+    return NoiseConfig(
+        enabled=True,
+        shot_noise=True,
+        thermal_noise=True,
+        relative_intensity_noise_db_per_hz=-140.0,
+        ring_tuning_sigma=0.005,
+        crosstalk=True,
+        seed=seed,
+    )

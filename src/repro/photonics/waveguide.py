@@ -1,0 +1,98 @@
+"""Waveguide and passive-component loss models.
+
+The broadcast bus of a broadcast-and-weight network is a waveguide that
+every weight bank taps.  This module models propagation loss, lumped
+insertion losses, and power splitters, all as scalar power-transmission
+factors that multiply the WDM power vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.constants import DEFAULT_WAVEGUIDE_LOSS_DB_PER_CM, db_to_linear
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A straight waveguide segment.
+
+    Attributes:
+        length_m: physical length (m).
+        loss_db_per_cm: propagation loss (dB/cm).
+    """
+
+    length_m: float
+    loss_db_per_cm: float = DEFAULT_WAVEGUIDE_LOSS_DB_PER_CM
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise ValueError(f"length must be non-negative, got {self.length_m!r}")
+        if self.loss_db_per_cm < 0:
+            raise ValueError(
+                f"loss must be non-negative, got {self.loss_db_per_cm!r}"
+            )
+
+    @property
+    def loss_db(self) -> float:
+        """Total propagation loss over the segment (dB)."""
+        return self.loss_db_per_cm * (self.length_m * 100.0)
+
+    @property
+    def transmission(self) -> float:
+        """Power transmission factor of the segment, in (0, 1]."""
+        return 1.0 / db_to_linear(self.loss_db)
+
+    def propagate(self, powers: np.ndarray) -> np.ndarray:
+        """Attenuate a per-channel power vector through the segment."""
+        return np.asarray(powers, dtype=float) * self.transmission
+
+
+@dataclass(frozen=True)
+class Splitter:
+    """An ideal 1-to-N power splitter with optional excess loss.
+
+    Attributes:
+        num_outputs: number of output ports.
+        excess_loss_db: loss beyond the fundamental 1/N split.
+    """
+
+    num_outputs: int
+    excess_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_outputs <= 0:
+            raise ValueError(
+                f"splitter needs at least one output, got {self.num_outputs!r}"
+            )
+        if self.excess_loss_db < 0:
+            raise ValueError(
+                f"excess loss must be non-negative, got {self.excess_loss_db!r}"
+            )
+
+    @property
+    def per_output_transmission(self) -> float:
+        """Fraction of input power delivered to each output port."""
+        return (1.0 / self.num_outputs) / db_to_linear(self.excess_loss_db)
+
+    def split(self, powers: np.ndarray) -> list[np.ndarray]:
+        """Split a power vector into ``num_outputs`` attenuated copies."""
+        share = self.per_output_transmission
+        base = np.asarray(powers, dtype=float)
+        return [base * share for _ in range(self.num_outputs)]
+
+
+def cascade_transmission(*stages: float) -> float:
+    """Multiply a chain of power-transmission factors.
+
+    Raises:
+        ValueError: if any stage is outside [0, 1].
+    """
+    total = 1.0
+    for stage in stages:
+        if not 0.0 <= stage <= 1.0:
+            raise ValueError(f"transmission must be in [0, 1], got {stage!r}")
+        total *= stage
+    return total

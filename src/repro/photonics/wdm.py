@@ -1,0 +1,111 @@
+"""Wavelength-division multiplexing (WDM) channel grid.
+
+Broadcast-and-weight places every neuron output on its own wavelength; all
+wavelengths share one waveguide.  This module models the channel grid
+itself: channel frequencies, spacing, and the crosstalk a bank of
+Lorentzian rings imposes between channels (each ring mostly drops its own
+channel but also drops a small amount of every neighbour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.constants import (
+    C_BAND_CENTER_HZ,
+    DWDM_100GHZ_SPACING_HZ,
+    frequency_to_wavelength,
+)
+
+
+@dataclass(frozen=True)
+class WdmGrid:
+    """A uniform WDM channel grid.
+
+    Attributes:
+        num_channels: number of wavelength channels.
+        spacing_hz: frequency spacing between adjacent channels.
+        center_frequency_hz: frequency of the middle of the grid.
+    """
+
+    num_channels: int
+    spacing_hz: float = DWDM_100GHZ_SPACING_HZ
+    center_frequency_hz: float = C_BAND_CENTER_HZ
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError(
+                f"grid needs at least one channel, got {self.num_channels!r}"
+            )
+        if self.spacing_hz <= 0:
+            raise ValueError(f"spacing must be positive, got {self.spacing_hz!r}")
+        if self.center_frequency_hz <= 0:
+            raise ValueError(
+                f"center frequency must be positive, got {self.center_frequency_hz!r}"
+            )
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Channel frequencies (Hz), ascending, centered on the grid center."""
+        offsets = np.arange(self.num_channels, dtype=float)
+        offsets -= (self.num_channels - 1) / 2.0
+        return self.center_frequency_hz + offsets * self.spacing_hz
+
+    @property
+    def wavelengths_m(self) -> np.ndarray:
+        """Channel vacuum wavelengths (m), matching ``frequencies_hz`` order."""
+        return np.array(
+            [frequency_to_wavelength(f) for f in self.frequencies_hz], dtype=float
+        )
+
+    @property
+    def span_hz(self) -> float:
+        """Total occupied frequency span (Hz)."""
+        return (self.num_channels - 1) * self.spacing_hz
+
+    def frequency_of(self, channel: int) -> float:
+        """Frequency of a single channel index.
+
+        Raises:
+            IndexError: if ``channel`` is out of range.
+        """
+        if not 0 <= channel < self.num_channels:
+            raise IndexError(
+                f"channel {channel} out of range [0, {self.num_channels})"
+            )
+        return float(self.frequencies_hz[channel])
+
+    def fits_within_fsr(self, free_spectral_range_hz: float) -> bool:
+        """Whether the whole grid fits inside one ring free spectral range.
+
+        If it does not, a ring tuned to one channel would also resonate at
+        aliased channels one FSR away, corrupting the weighting.
+        """
+        return self.span_hz < free_spectral_range_hz
+
+
+def channel_count_limit(
+    free_spectral_range_hz: float, spacing_hz: float = DWDM_100GHZ_SPACING_HZ
+) -> int:
+    """Largest channel count whose grid span fits inside one FSR.
+
+    This is the WDM scalability limit of a single weight bank; the PCNNA
+    mapping layer uses it to decide when a layer's receptive field must be
+    split over multiple banks.
+
+    Raises:
+        ValueError: if either argument is not strictly positive.
+    """
+    if free_spectral_range_hz <= 0:
+        raise ValueError(
+            f"free spectral range must be positive, got {free_spectral_range_hz!r}"
+        )
+    if spacing_hz <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing_hz!r}")
+    # span = (n - 1) * spacing < FSR  =>  n < FSR / spacing + 1.
+    limit = int(np.floor(free_spectral_range_hz / spacing_hz + 1.0))
+    if (limit - 1) * spacing_hz >= free_spectral_range_hz:
+        limit -= 1
+    return max(limit, 1)

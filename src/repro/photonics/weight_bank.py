@@ -1,0 +1,185 @@
+"""MRR weight bank: the multiply stage of broadcast-and-weight.
+
+A weight bank is a row of add-drop microrings on a bus waveguide, one ring
+per WDM channel.  Ring ``k`` is tuned so that a fraction ``d_k`` of its
+channel's power exits at the drop port and the remaining ``1 - d_k`` at
+the through port.  Routing all drop ports to one photodiode and all
+through ports to another, the balanced photocurrent for channel powers
+``P_k`` is
+
+    I = R * sum_k P_k * (d_k - (1 - d_k)) = R * sum_k P_k * (2 d_k - 1)
+
+so choosing ``d_k = (1 + w_k) / 2`` realizes an arbitrary signed weight
+``w_k`` in [-1, +1]: the bank physically computes ``R * sum_k P_k w_k``,
+a multiply-and-accumulate (Tait et al. 2017; PCNNA section III).
+
+Two fidelity levels are implemented:
+
+* **ideal** — each ring affects only its own channel and the drop
+  fraction equals the calibrated target exactly.  The bank output is the
+  exact dot product.
+* **physical** (``noise.crosstalk_active`` or tuning error) — drop
+  fractions come from the Lorentzian line shape of every ring evaluated
+  at every channel, with the bus cascade ordering taken into account, so
+  inter-channel crosstalk and miscalibration perturb the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.noise import NoiseConfig, ideal
+from repro.photonics.wdm import WdmGrid
+
+_MAX_DETUNING_LINEWIDTHS = 1e4
+"""Detuning cap (in linewidths) used to realize a ~zero drop fraction."""
+
+
+class WeightBank:
+    """A bank of tunable microrings realizing a signed weight vector.
+
+    Args:
+        grid: WDM grid; one ring is instantiated per channel.
+        design: shared microring design parameters.
+        noise: non-ideality configuration.
+
+    Attributes:
+        rings: the per-channel :class:`Microring` instances, in bus order
+            (channel 0 is encountered first on the bus).
+    """
+
+    def __init__(
+        self,
+        grid: WdmGrid,
+        design: MicroringDesign | None = None,
+        noise: NoiseConfig | None = None,
+    ) -> None:
+        self.grid = grid
+        self.design = design if design is not None else MicroringDesign()
+        self.noise = noise if noise is not None else ideal()
+        self.rings = [
+            Microring(frequency, self.design) for frequency in grid.frequencies_hz
+        ]
+        self._weights = np.zeros(grid.num_channels, dtype=float)
+        self._drop_fractions = np.full(grid.num_channels, 0.5, dtype=float)
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def num_rings(self) -> int:
+        """Number of rings (== number of WDM channels) in the bank."""
+        return self.grid.num_channels
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The most recently programmed weight vector (copy)."""
+        return self._weights.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Program the bank to realize ``weights`` (each in [-1, +1]).
+
+        Calibration inverts the ideal per-ring map ``d = (1 + w) / 2``; any
+        active tuning error perturbs the realized drop fractions, and
+        crosstalk (if enabled) further perturbs the applied weighting.
+
+        Raises:
+            ValueError: if the vector length mismatches the bank or any
+                weight falls outside [-1, 1].
+        """
+        array = np.asarray(weights, dtype=float)
+        if array.shape != (self.num_rings,):
+            raise ValueError(
+                f"expected {self.num_rings} weights, got shape {array.shape}"
+            )
+        if np.any(np.abs(array) > 1.0 + 1e-12):
+            bad = array[np.abs(array) > 1.0 + 1e-12]
+            raise ValueError(f"weights must lie in [-1, 1]; out-of-range: {bad[:5]!r}")
+        array = np.clip(array, -1.0, 1.0)
+        self._weights = array.copy()
+
+        drops = (1.0 + array) / 2.0
+        if self.noise.tuning_error_active:
+            jitter = self.noise.rng.normal(
+                0.0, self.noise.ring_tuning_sigma, self.num_rings
+            )
+            drops = np.clip(drops + jitter, 0.0, 1.0)
+        self._drop_fractions = drops
+        self._apply_detunings(drops)
+
+    def _apply_detunings(self, drop_fractions: np.ndarray) -> None:
+        """Tune each physical ring to realize its target drop fraction."""
+        for ring, target in zip(self.rings, drop_fractions):
+            peak = ring.design.peak_drop_transmission
+            achievable = min(float(target) * peak, peak)
+            if achievable <= 0.0:
+                ring.detuning_hz = _MAX_DETUNING_LINEWIDTHS * ring.linewidth_hz
+            else:
+                ring.detuning_hz = ring.detuning_for_drop(achievable)
+
+    # -- transfer ------------------------------------------------------------
+
+    def transmission_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-channel aggregate (drop, through) power fractions.
+
+        In ideal mode ring ``k`` interacts only with channel ``k``.  In
+        physical mode every ring's Lorentzian is evaluated at every channel
+        and the serial bus ordering is honoured: channel ``k`` reaching ring
+        ``j`` has already been attenuated by the through response of rings
+        ``0..j-1``.
+
+        Returns:
+            ``(drop, through)`` arrays of shape ``(num_channels,)`` with
+            ``0 <= drop, through`` and ``drop + through <= 1``.
+        """
+        if not self.noise.crosstalk_active:
+            drop = self._drop_fractions.copy()
+            return drop, 1.0 - drop
+
+        frequencies = self.grid.frequencies_hz
+        num = self.num_rings
+        drop = np.zeros(num, dtype=float)
+        remaining = np.ones(num, dtype=float)
+        for ring in self.rings:
+            ring_drop = np.asarray(ring.drop_transmission(frequencies), dtype=float)
+            ring_through = 1.0 - ring_drop
+            drop += remaining * ring_drop
+            remaining *= ring_through
+        return drop, remaining
+
+    def apply(self, input_powers_w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Weight a WDM power vector.
+
+        Args:
+            input_powers_w: per-channel optical powers entering the bus.
+
+        Returns:
+            ``(drop_powers, through_powers)`` per channel, in watts.
+
+        Raises:
+            ValueError: on shape mismatch or negative input power.
+        """
+        powers = np.asarray(input_powers_w, dtype=float)
+        if powers.shape != (self.num_rings,):
+            raise ValueError(
+                f"expected {self.num_rings} channel powers, got shape {powers.shape}"
+            )
+        if np.any(powers < 0):
+            raise ValueError("optical power cannot be negative")
+        drop, through = self.transmission_matrix()
+        return powers * drop, powers * through
+
+    def effective_weights(self) -> np.ndarray:
+        """The weights the bank actually applies, including non-idealities.
+
+        Computed as ``drop - through`` per channel, which is what balanced
+        detection measures for unit input power.
+        """
+        drop, through = self.transmission_matrix()
+        return drop - through
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightBank(rings={self.num_rings}, "
+            f"crosstalk={self.noise.crosstalk_active})"
+        )

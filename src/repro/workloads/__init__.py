@@ -1,0 +1,31 @@
+"""Workload definitions: the paper's AlexNet table plus extension suites."""
+
+from repro.workloads.alexnet import (
+    ALEXNET_CONV_LAYERS,
+    alexnet_conv_specs,
+    alexnet_layer,
+)
+from repro.workloads.googlenet import (
+    googlenet_conv_specs,
+    inception_module_specs,
+)
+from repro.workloads.suites import (
+    LENET5_CONV_LAYERS,
+    VGG16_CONV_LAYERS,
+    lenet5_conv_specs,
+    synthetic_layer_sweep,
+    vgg16_conv_specs,
+)
+
+__all__ = [
+    "ALEXNET_CONV_LAYERS",
+    "alexnet_conv_specs",
+    "alexnet_layer",
+    "googlenet_conv_specs",
+    "inception_module_specs",
+    "LENET5_CONV_LAYERS",
+    "VGG16_CONV_LAYERS",
+    "lenet5_conv_specs",
+    "synthetic_layer_sweep",
+    "vgg16_conv_specs",
+]

@@ -1,0 +1,41 @@
+"""The AlexNet convolution-layer table used throughout the paper's evaluation.
+
+These specs reproduce the exact geometry behind the paper's worked
+numbers: conv1 = 224 x 224 x 3 input with 96 kernels of 11 x 11 x 3
+(Ninput = 150 528, Nkernel = 363, 5.2 B unfiltered rings, ~35 K filtered)
+and conv4 with Nkernel = 3 * 3 * 384 = 3456 (the "most kernel weights"
+layer whose single-bank area is 2.2 mm^2).
+"""
+
+from __future__ import annotations
+
+from repro.nn.shapes import ConvLayerSpec
+
+ALEXNET_CONV_LAYERS: tuple[ConvLayerSpec, ...] = (
+    ConvLayerSpec(name="conv1", n=224, m=11, nc=3, num_kernels=96, s=4, p=2),
+    ConvLayerSpec(name="conv2", n=27, m=5, nc=96, num_kernels=256, s=1, p=2),
+    ConvLayerSpec(name="conv3", n=13, m=3, nc=256, num_kernels=384, s=1, p=1),
+    ConvLayerSpec(name="conv4", n=13, m=3, nc=384, num_kernels=384, s=1, p=1),
+    ConvLayerSpec(name="conv5", n=13, m=3, nc=384, num_kernels=256, s=1, p=1),
+)
+"""The five AlexNet conv layers, paper notation, in network order."""
+
+
+def alexnet_conv_specs() -> list[ConvLayerSpec]:
+    """A fresh list of the paper's AlexNet conv-layer specs."""
+    return list(ALEXNET_CONV_LAYERS)
+
+
+def alexnet_layer(name: str) -> ConvLayerSpec:
+    """Look up one AlexNet conv layer by name (e.g. ``"conv4"``).
+
+    Raises:
+        KeyError: if no layer has that name.
+    """
+    for spec in ALEXNET_CONV_LAYERS:
+        if spec.name == name:
+            return spec
+    raise KeyError(
+        f"unknown AlexNet layer {name!r}; have "
+        f"{[spec.name for spec in ALEXNET_CONV_LAYERS]}"
+    )

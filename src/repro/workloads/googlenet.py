@@ -1,0 +1,89 @@
+"""GoogLeNet (Szegedy et al. 2015) convolution workload.
+
+The paper cites GoogLeNet as one of the "tens, if not hundreds, of
+layers" CNNs motivating PCNNA (reference [13]).  An inception module is
+four parallel branches; on PCNNA's layer-sequential dataflow each branch
+conv is simply another layer request, so the workload flattens every
+branch conv into the layer list (58 convolutions).
+
+Only the convolutions that dominate compute are listed: the stem, every
+inception branch conv (1x1 reductions, 3x3, 5x5, and pool-projection
+1x1s), for all nine inception modules (3a-3b, 4a-4e, 5a-5b).
+"""
+
+from __future__ import annotations
+
+from repro.nn.shapes import ConvLayerSpec
+
+
+def _inception(
+    prefix: str,
+    side: int,
+    in_channels: int,
+    b1: int,
+    b3_reduce: int,
+    b3: int,
+    b5_reduce: int,
+    b5: int,
+    pool_proj: int,
+) -> list[ConvLayerSpec]:
+    """The six convolutions of one inception module."""
+    return [
+        ConvLayerSpec(f"{prefix}/1x1", n=side, m=1, nc=in_channels, num_kernels=b1),
+        ConvLayerSpec(
+            f"{prefix}/3x3_reduce", n=side, m=1, nc=in_channels,
+            num_kernels=b3_reduce,
+        ),
+        ConvLayerSpec(
+            f"{prefix}/3x3", n=side, m=3, nc=b3_reduce, num_kernels=b3, p=1
+        ),
+        ConvLayerSpec(
+            f"{prefix}/5x5_reduce", n=side, m=1, nc=in_channels,
+            num_kernels=b5_reduce,
+        ),
+        ConvLayerSpec(
+            f"{prefix}/5x5", n=side, m=5, nc=b5_reduce, num_kernels=b5, p=2
+        ),
+        ConvLayerSpec(
+            f"{prefix}/pool_proj", n=side, m=1, nc=in_channels,
+            num_kernels=pool_proj,
+        ),
+    ]
+
+
+def googlenet_conv_specs() -> list[ConvLayerSpec]:
+    """All 58 GoogLeNet convolutions in paper notation, network order."""
+    specs: list[ConvLayerSpec] = [
+        ConvLayerSpec("conv1/7x7", n=224, m=7, nc=3, num_kernels=64, s=2, p=3),
+        ConvLayerSpec("conv2/3x3_reduce", n=56, m=1, nc=64, num_kernels=64),
+        ConvLayerSpec("conv2/3x3", n=56, m=3, nc=64, num_kernels=192, p=1),
+    ]
+    # (prefix, side, in_ch, 1x1, 3x3red, 3x3, 5x5red, 5x5, pool_proj)
+    modules = [
+        ("inception_3a", 28, 192, 64, 96, 128, 16, 32, 32),
+        ("inception_3b", 28, 256, 128, 128, 192, 32, 96, 64),
+        ("inception_4a", 14, 480, 192, 96, 208, 16, 48, 64),
+        ("inception_4b", 14, 512, 160, 112, 224, 24, 64, 64),
+        ("inception_4c", 14, 512, 128, 128, 256, 24, 64, 64),
+        ("inception_4d", 14, 512, 112, 144, 288, 32, 64, 64),
+        ("inception_4e", 14, 528, 256, 160, 320, 32, 128, 128),
+        ("inception_5a", 7, 832, 256, 160, 320, 32, 128, 128),
+        ("inception_5b", 7, 832, 384, 192, 384, 48, 128, 128),
+    ]
+    for module in modules:
+        specs.extend(_inception(*module))
+    return specs
+
+
+def inception_module_specs(prefix: str) -> list[ConvLayerSpec]:
+    """The six convs of one named inception module (e.g. "inception_4a").
+
+    Raises:
+        KeyError: if no module has that prefix.
+    """
+    matching = [
+        spec for spec in googlenet_conv_specs() if spec.name.startswith(prefix + "/")
+    ]
+    if not matching:
+        raise KeyError(f"unknown inception module {prefix!r}")
+    return matching

@@ -1,0 +1,82 @@
+"""Additional workload suites: other networks and synthetic sweeps.
+
+The paper evaluates only AlexNet; these suites back the extension
+benchmarks (VGG-16, LeNet-5) and the design-space-exploration example,
+which sweeps synthetic conv layers over kernel size, channel count,
+stride, and kernel count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.nn.shapes import ConvLayerSpec
+
+VGG16_CONV_LAYERS: tuple[ConvLayerSpec, ...] = (
+    ConvLayerSpec(name="conv1_1", n=224, m=3, nc=3, num_kernels=64, s=1, p=1),
+    ConvLayerSpec(name="conv1_2", n=224, m=3, nc=64, num_kernels=64, s=1, p=1),
+    ConvLayerSpec(name="conv2_1", n=112, m=3, nc=64, num_kernels=128, s=1, p=1),
+    ConvLayerSpec(name="conv2_2", n=112, m=3, nc=128, num_kernels=128, s=1, p=1),
+    ConvLayerSpec(name="conv3_1", n=56, m=3, nc=128, num_kernels=256, s=1, p=1),
+    ConvLayerSpec(name="conv3_2", n=56, m=3, nc=256, num_kernels=256, s=1, p=1),
+    ConvLayerSpec(name="conv3_3", n=56, m=3, nc=256, num_kernels=256, s=1, p=1),
+    ConvLayerSpec(name="conv4_1", n=28, m=3, nc=256, num_kernels=512, s=1, p=1),
+    ConvLayerSpec(name="conv4_2", n=28, m=3, nc=512, num_kernels=512, s=1, p=1),
+    ConvLayerSpec(name="conv4_3", n=28, m=3, nc=512, num_kernels=512, s=1, p=1),
+    ConvLayerSpec(name="conv5_1", n=14, m=3, nc=512, num_kernels=512, s=1, p=1),
+    ConvLayerSpec(name="conv5_2", n=14, m=3, nc=512, num_kernels=512, s=1, p=1),
+    ConvLayerSpec(name="conv5_3", n=14, m=3, nc=512, num_kernels=512, s=1, p=1),
+)
+"""VGG-16's thirteen conv layers in paper notation."""
+
+LENET5_CONV_LAYERS: tuple[ConvLayerSpec, ...] = (
+    ConvLayerSpec(name="conv1", n=32, m=5, nc=1, num_kernels=6),
+    ConvLayerSpec(name="conv2", n=14, m=5, nc=6, num_kernels=16),
+    ConvLayerSpec(name="conv3", n=5, m=5, nc=16, num_kernels=120),
+)
+"""LeNet-5's three conv layers in paper notation."""
+
+
+def vgg16_conv_specs() -> list[ConvLayerSpec]:
+    """A fresh list of the VGG-16 conv-layer specs."""
+    return list(VGG16_CONV_LAYERS)
+
+
+def lenet5_conv_specs() -> list[ConvLayerSpec]:
+    """A fresh list of the LeNet-5 conv-layer specs."""
+    return list(LENET5_CONV_LAYERS)
+
+
+def synthetic_layer_sweep(
+    input_sides: list[int] | None = None,
+    kernel_sizes: list[int] | None = None,
+    channel_counts: list[int] | None = None,
+    kernel_counts: list[int] | None = None,
+    strides: list[int] | None = None,
+) -> Iterator[ConvLayerSpec]:
+    """Generate the cross-product of synthetic conv layers.
+
+    Geometrically-invalid combinations (kernel larger than the input) are
+    skipped rather than raised, so callers can sweep freely.
+    """
+    sides = input_sides if input_sides is not None else [14, 28, 56]
+    kernels = kernel_sizes if kernel_sizes is not None else [1, 3, 5, 7]
+    channels = channel_counts if channel_counts is not None else [16, 64, 256]
+    counts = kernel_counts if kernel_counts is not None else [32, 128, 512]
+    steps = strides if strides is not None else [1, 2]
+    for n in sides:
+        for m in kernels:
+            if m > n:
+                continue
+            for nc in channels:
+                for k in counts:
+                    for s in steps:
+                        yield ConvLayerSpec(
+                            name=f"n{n}_m{m}_c{nc}_k{k}_s{s}",
+                            n=n,
+                            m=m,
+                            nc=nc,
+                            num_kernels=k,
+                            s=s,
+                            p=m // 2,
+                        )

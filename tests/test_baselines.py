@@ -1,0 +1,130 @@
+"""Tests for the Eyeriss / YodaNN / roofline baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    DATACENTER_GPU,
+    DESKTOP_CPU,
+    EyerissModel,
+    RooflineDevice,
+    YodaNNModel,
+    published_layer_time_s,
+)
+from repro.workloads import alexnet_conv_specs, alexnet_layer
+
+
+class TestEyerissPublished:
+    def test_batch_times(self):
+        assert published_layer_time_s("conv1", per_image=False) == pytest.approx(
+            20.9e-3
+        )
+
+    def test_per_image_divides_batch(self):
+        assert published_layer_time_s("conv1") == pytest.approx(20.9e-3 / 4)
+
+    def test_all_five_layers_present(self):
+        for spec in alexnet_conv_specs():
+            assert published_layer_time_s(spec.name) > 0
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(KeyError):
+            published_layer_time_s("conv9")
+
+    def test_total_alexnet_around_29ms_per_image(self):
+        total = sum(published_layer_time_s(s.name) for s in alexnet_conv_specs())
+        # Eyeriss runs AlexNet convs at ~34.7 fps -> ~28.8 ms.
+        assert total == pytest.approx(28.8e-3, rel=0.02)
+
+
+class TestEyerissAnalytical:
+    def test_layer_time_formula(self):
+        model = EyerissModel()
+        spec = alexnet_layer("conv3")
+        expected = spec.macs / (168 * model.utilization_for(spec) * 200e6)
+        assert model.layer_time_s(spec) == pytest.approx(expected)
+
+    def test_analytical_within_3x_of_published(self):
+        # The analytical model is a sanity cross-check, not a replica:
+        # published numbers include DRAM stalls and batch effects.
+        model = EyerissModel()
+        for spec in alexnet_conv_specs():
+            ratio = published_layer_time_s(spec.name) / model.layer_time_s(spec)
+            assert 1 / 3 < ratio < 3, spec.name
+
+    def test_energy_scales_with_macs(self):
+        model = EyerissModel()
+        assert model.layer_energy_j(alexnet_layer("conv2")) > model.layer_energy_j(
+            alexnet_layer("conv5")
+        )
+
+    def test_network_time_sums(self):
+        model = EyerissModel()
+        specs = alexnet_conv_specs()
+        assert model.network_time_s(specs) == pytest.approx(
+            sum(model.layer_time_s(s) for s in specs)
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EyerissModel(num_pes=0)
+        with pytest.raises(ValueError):
+            EyerissModel(default_utilization=1.5)
+
+
+class TestYodaNN:
+    def test_peak_throughput(self):
+        model = YodaNNModel()
+        assert model.peak_macs_per_s == pytest.approx(32 * 49 * 480e6)
+
+    def test_faster_than_eyeriss(self):
+        # The binary-weight design outruns Eyeriss on every layer.
+        yodann = YodaNNModel()
+        for spec in alexnet_conv_specs():
+            assert yodann.layer_time_s(spec) < published_layer_time_s(spec.name)
+
+    def test_energy_cheaper_than_eyeriss(self):
+        yodann = YodaNNModel()
+        eyeriss = EyerissModel()
+        spec = alexnet_layer("conv1")
+        assert yodann.layer_energy_j(spec) < eyeriss.layer_energy_j(spec)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            YodaNNModel(num_sop_units=0)
+        with pytest.raises(ValueError):
+            YodaNNModel(utilization=0.0)
+
+    def test_network_time_sums(self):
+        model = YodaNNModel()
+        specs = alexnet_conv_specs()
+        assert model.network_time_s(specs) == pytest.approx(
+            sum(model.layer_time_s(s) for s in specs)
+        )
+
+
+class TestRoofline:
+    def test_compute_vs_memory_bound(self):
+        device = RooflineDevice(
+            name="t", peak_macs_per_s=1e12, memory_bandwidth_bytes_per_s=1e9
+        )
+        spec = alexnet_layer("conv1")
+        assert device.layer_time_s(spec) == max(
+            device.compute_time_s(spec), device.memory_time_s(spec)
+        )
+
+    def test_gpu_faster_than_cpu(self):
+        specs = alexnet_conv_specs()
+        assert DATACENTER_GPU.network_time_s(specs) < DESKTOP_CPU.network_time_s(
+            specs
+        )
+
+    def test_layer_bytes(self):
+        spec = alexnet_layer("conv5")
+        expected = (spec.n_input + spec.total_weights + spec.n_output) * 4
+        assert DESKTOP_CPU.layer_bytes(spec) == expected
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RooflineDevice("t", 0.0, 1e9)
+        with pytest.raises(ValueError):
+            RooflineDevice("t", 1e9, -1.0)

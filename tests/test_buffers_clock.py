@@ -1,0 +1,141 @@
+"""Tests for clock-domain buffers and the dual-clock system."""
+
+import pytest
+
+from repro.electronics.buffers import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    Fifo,
+    InputBuffer,
+    KernelWeightsBuffer,
+    OutputBuffer,
+)
+from repro.electronics.clock import (
+    PCNNA_FAST_CLOCK_HZ,
+    ClockDomain,
+    DualClockSystem,
+)
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        fifo = Fifo(capacity=3)
+        fifo.push(1)
+        fifo.push(2)
+        assert fifo.pop() == 1
+        assert fifo.pop() == 2
+
+    def test_overflow(self):
+        fifo = Fifo(capacity=1)
+        fifo.push("x")
+        with pytest.raises(BufferOverflowError):
+            fifo.push("y")
+
+    def test_underflow(self):
+        with pytest.raises(BufferUnderflowError):
+            Fifo(capacity=1).pop()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Fifo(capacity=0)
+
+    def test_push_many_atomic(self):
+        fifo = Fifo(capacity=3)
+        fifo.push(0)
+        with pytest.raises(BufferOverflowError):
+            fifo.push_many([1, 2, 3])
+        # Nothing from the failed batch went in.
+        assert fifo.occupancy == 1
+
+    def test_push_many_success(self):
+        fifo = Fifo(capacity=3)
+        fifo.push_many([1, 2, 3])
+        assert fifo.is_full
+
+    def test_drain(self):
+        fifo = Fifo(capacity=4)
+        fifo.push_many([1, 2, 3])
+        assert fifo.drain() == [1, 2, 3]
+        assert fifo.is_empty
+
+    def test_stats_track_highwater(self):
+        fifo = Fifo(capacity=10)
+        fifo.push_many(list(range(7)))
+        fifo.drain()
+        fifo.push(1)
+        assert fifo.stats.max_occupancy == 7
+        assert fifo.stats.pushes == 8
+        assert fifo.stats.pops == 7
+
+    def test_free_space(self):
+        fifo = Fifo(capacity=5)
+        fifo.push(1)
+        assert fifo.free_space == 4
+
+    def test_clear_does_not_count_pops(self):
+        fifo = Fifo(capacity=2)
+        fifo.push(1)
+        fifo.clear()
+        assert fifo.stats.pops == 0
+        assert fifo.is_empty
+
+    def test_named_buffers(self):
+        assert KernelWeightsBuffer(4).name == "kernel-weights-buffer"
+        assert InputBuffer(4).name == "input-buffer"
+        assert OutputBuffer(4).name == "output-buffer"
+
+
+class TestClockDomain:
+    def test_period(self):
+        clock = ClockDomain("fast", 5e9)
+        assert clock.period_s == pytest.approx(0.2e-9)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0.0)
+
+    def test_cycles_to_seconds(self):
+        clock = ClockDomain("fast", 5e9)
+        assert clock.cycles_to_seconds(10) == pytest.approx(2e-9)
+
+    def test_cycles_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ClockDomain("fast", 5e9).cycles_to_seconds(-1)
+
+    def test_seconds_to_cycles_ceils(self):
+        clock = ClockDomain("fast", 1e9)
+        assert clock.seconds_to_cycles(1.5e-9) == 2
+        assert clock.seconds_to_cycles(1.0e-9) == 1
+
+    def test_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ClockDomain("fast", 1e9).seconds_to_cycles(-1e-9)
+
+
+class TestDualClockSystem:
+    def test_paper_fast_clock(self):
+        assert PCNNA_FAST_CLOCK_HZ == pytest.approx(5e9)
+        system = DualClockSystem()
+        assert system.fast.frequency_hz == pytest.approx(5e9)
+
+    def test_ratio(self):
+        system = DualClockSystem(
+            fast=ClockDomain("fast", 4e9), main=ClockDomain("main", 1e9)
+        )
+        assert system.ratio == pytest.approx(4.0)
+
+    def test_rejects_inverted_domains(self):
+        with pytest.raises(ValueError):
+            DualClockSystem(
+                fast=ClockDomain("fast", 1e9), main=ClockDomain("main", 2e9)
+            )
+
+    def test_crossing_latency(self):
+        system = DualClockSystem(
+            fast=ClockDomain("fast", 5e9), main=ClockDomain("main", 1e9)
+        )
+        assert system.crossing_latency_s(2) == pytest.approx(2e-9)
+
+    def test_crossing_rejects_nonpositive_stages(self):
+        with pytest.raises(ValueError):
+            DualClockSystem().crossing_latency_s(0)

@@ -1,0 +1,169 @@
+"""Tests for DAC/ADC converter specs and arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.electronics.adc import AdcArray
+from repro.electronics.converters import (
+    PCNNA_INPUT_DAC,
+    PCNNA_OUTPUT_ADC,
+    PCNNA_WEIGHT_DAC,
+    ConverterSpec,
+)
+from repro.electronics.dac import DacArray
+
+
+class TestConverterSpec:
+    def test_paper_dac_parameters(self):
+        assert PCNNA_INPUT_DAC.resolution_bits == 16
+        assert PCNNA_INPUT_DAC.sample_rate_hz == pytest.approx(6e9)
+        assert PCNNA_INPUT_DAC.area_mm2 == pytest.approx(0.52)
+
+    def test_paper_adc_parameters(self):
+        assert PCNNA_OUTPUT_ADC.sample_rate_hz == pytest.approx(2.8e9)
+
+    def test_weight_dac_bipolar(self):
+        assert PCNNA_WEIGHT_DAC.full_scale_min == -1.0
+        assert PCNNA_WEIGHT_DAC.full_scale_max == 1.0
+
+    def test_num_levels(self):
+        spec = ConverterSpec(resolution_bits=8, sample_rate_hz=1e9)
+        assert spec.num_levels == 256
+
+    def test_lsb(self):
+        spec = ConverterSpec(
+            resolution_bits=2, sample_rate_hz=1e9, full_scale_max=3.0
+        )
+        assert spec.lsb == pytest.approx(1.0)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            ConverterSpec(resolution_bits=0, sample_rate_hz=1e9)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            ConverterSpec(resolution_bits=8, sample_rate_hz=0.0)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ConverterSpec(
+                resolution_bits=8,
+                sample_rate_hz=1e9,
+                full_scale_min=1.0,
+                full_scale_max=1.0,
+            )
+
+    def test_conversion_time(self):
+        spec = ConverterSpec(resolution_bits=8, sample_rate_hz=1e9)
+        assert spec.conversion_time_s(100) == pytest.approx(100e-9)
+
+    def test_conversion_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PCNNA_INPUT_DAC.conversion_time_s(-1)
+
+
+class TestQuantization:
+    def test_quantize_idempotent(self):
+        spec = ConverterSpec(resolution_bits=6, sample_rate_hz=1e9)
+        values = np.random.default_rng(0).uniform(0, 1, 100)
+        once = spec.quantize(values)
+        assert np.array_equal(spec.quantize(once), once)
+
+    def test_quantize_error_bounded_by_half_lsb(self):
+        spec = ConverterSpec(resolution_bits=8, sample_rate_hz=1e9)
+        values = np.random.default_rng(1).uniform(0, 1, 1000)
+        error = np.abs(spec.quantize(values) - values)
+        assert np.max(error) <= spec.lsb / 2 + 1e-12
+
+    def test_quantize_clips_out_of_range(self):
+        spec = ConverterSpec(resolution_bits=8, sample_rate_hz=1e9)
+        assert spec.quantize(np.array([2.0]))[0] == pytest.approx(1.0)
+        assert spec.quantize(np.array([-1.0]))[0] == pytest.approx(0.0)
+
+    @given(value=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip(self, value):
+        spec = ConverterSpec(resolution_bits=12, sample_rate_hz=1e9)
+        code = spec.encode(value)
+        decoded = spec.decode(code)
+        assert float(decoded) == pytest.approx(value, abs=spec.lsb / 2 + 1e-12)
+
+    def test_decode_rejects_out_of_range_codes(self):
+        spec = ConverterSpec(resolution_bits=4, sample_rate_hz=1e9)
+        with pytest.raises(ValueError):
+            spec.decode(np.array([16]))
+        with pytest.raises(ValueError):
+            spec.decode(np.array([-1]))
+
+    def test_sixteen_bit_quantization_fine(self):
+        error = np.abs(
+            PCNNA_INPUT_DAC.quantize(np.array([0.123456789])) - 0.123456789
+        )
+        assert error[0] < 1e-4
+
+
+class TestDacArray:
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            DacArray(0)
+
+    def test_schedule_divides_work(self):
+        array = DacArray(10)
+        conversion = array.schedule(100)
+        assert conversion.per_dac_values == 10
+        assert conversion.time_s == pytest.approx(10 / 6e9)
+
+    def test_schedule_ceils(self):
+        array = DacArray(10)
+        assert array.schedule(101).per_dac_values == 11
+
+    def test_schedule_zero_values(self):
+        assert DacArray(4).schedule(0).time_s == 0.0
+
+    def test_schedule_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DacArray(4).schedule(-1)
+
+    def test_average_time_matches_eq8(self):
+        # Paper eq. 8: conv4, 384*3*1 values over 10 DACs at 6 GSa/s.
+        array = DacArray(10)
+        time_s = array.average_conversion_time_s(384 * 3 * 1)
+        assert time_s == pytest.approx(115.2 / 6e9)
+
+    def test_totals(self):
+        array = DacArray(10)
+        assert array.total_area_mm2 == pytest.approx(5.2)
+        assert array.aggregate_rate_hz == pytest.approx(60e9)
+
+    def test_convert_quantizes(self):
+        array = DacArray(2)
+        values = np.array([0.5, 0.25])
+        assert np.allclose(array.convert(values), values, atol=array.spec.lsb)
+
+
+class TestAdcArray:
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            AdcArray(0)
+
+    def test_schedule(self):
+        array = AdcArray(1)
+        conversion = array.schedule(384)
+        assert conversion.per_adc_values == 384
+        assert conversion.time_s == pytest.approx(384 / 2.8e9)
+
+    def test_parallel_adcs_divide(self):
+        assert AdcArray(4).schedule(384).per_adc_values == 96
+
+    def test_schedule_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AdcArray(1).schedule(-5)
+
+    def test_digitize_quantizes_into_range(self):
+        array = AdcArray(1)
+        values = np.array([-2.0, 0.3, 2.0])
+        digitized = array.digitize(values)
+        assert digitized[0] == pytest.approx(-1.0)
+        assert digitized[2] == pytest.approx(1.0)

@@ -1,0 +1,44 @@
+"""Tests for the ASCII line-plot renderer."""
+
+import pytest
+
+from repro.analysis.figures import ascii_line_plot
+
+
+class TestAsciiLinePlot:
+    def test_basic_render(self):
+        plot = ascii_line_plot([0, 1, 2], [0.0, 1.0, 0.5], title="t")
+        assert "t" in plot
+        assert "*" in plot
+
+    def test_extremes_on_border_rows(self):
+        plot = ascii_line_plot([0, 1], [0.0, 10.0], height=5, width=10)
+        lines = [line for line in plot.splitlines() if "|" in line]
+        assert "*" in lines[0]    # maximum on the top row.
+        assert "*" in lines[-1]   # minimum on the bottom row.
+
+    def test_axis_labels(self):
+        plot = ascii_line_plot([0, 5], [1, 2], x_label="ghz", y_label="drop")
+        assert "ghz" in plot
+        assert "drop" in plot
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        plot = ascii_line_plot([0, 1, 2], [3.0, 3.0, 3.0])
+        assert "*" in plot
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([0, 1], [1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([0], [1.0])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([0, 1], [0, 1], height=1)
+
+    def test_y_range_labels_present(self):
+        plot = ascii_line_plot([0, 1], [2.5, 7.5])
+        assert "7.5" in plot
+        assert "2.5" in plot

@@ -1,0 +1,157 @@
+"""Tests for the functional NN operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        x = np.arange(9.0).reshape(1, 3, 3)
+        k = np.zeros((1, 1, 1, 1))
+        k[0, 0, 0, 0] = 1.0
+        assert np.allclose(F.conv2d(x, k), x)
+
+    def test_averaging_kernel(self):
+        x = np.ones((1, 4, 4))
+        k = np.full((1, 1, 2, 2), 0.25)
+        out = F.conv2d(x, k)
+        assert out.shape == (1, 3, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_multi_channel_sums(self):
+        x = np.ones((3, 2, 2))
+        k = np.ones((1, 3, 2, 2))
+        assert F.conv2d(x, k)[0, 0, 0] == pytest.approx(12.0)
+
+    def test_bias(self):
+        x = np.zeros((1, 3, 3))
+        k = np.zeros((2, 1, 3, 3))
+        out = F.conv2d(x, k, bias=np.array([1.5, -2.0]))
+        assert np.allclose(out[0], 1.5)
+        assert np.allclose(out[1], -2.0)
+
+    def test_bias_shape_check(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 3, 3)), np.zeros((2, 1, 2, 2)), bias=np.zeros(3))
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((3, 3)), np.zeros((1, 1, 2, 2)))
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 3, 3)), np.zeros((1, 2, 2, 2)))
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 3, 3)), np.zeros((1, 1, 2, 3)))
+
+    @given(
+        channels=st.integers(min_value=1, max_value=3),
+        side=st.integers(min_value=3, max_value=9),
+        kernels=st.integers(min_value=1, max_value=4),
+        kernel_size=st.integers(min_value=1, max_value=3),
+        stride=st.integers(min_value=1, max_value=2),
+        padding=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_im2col_matches_direct(
+        self, channels, side, kernels, kernel_size, stride, padding, seed
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(channels, side, side))
+        k = rng.normal(size=(kernels, channels, kernel_size, kernel_size))
+        fast = F.conv2d(x, k, stride, padding)
+        slow = F.conv2d_direct(x, k, stride, padding)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_linearity_in_input(self):
+        rng = np.random.default_rng(3)
+        x1 = rng.normal(size=(2, 5, 5))
+        x2 = rng.normal(size=(2, 5, 5))
+        k = rng.normal(size=(3, 2, 3, 3))
+        combined = F.conv2d(2.0 * x1 + x2, k)
+        separate = 2.0 * F.conv2d(x1, k) + F.conv2d(x2, k)
+        assert np.allclose(combined, separate)
+
+
+class TestActivations:
+    def test_relu_clamps_negative(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert F.relu(x).tolist() == [0.0, 0.0, 2.0]
+
+    def test_relu_preserves_shape(self):
+        assert F.relu(np.ones((2, 3, 4))).shape == (2, 3, 4)
+
+    def test_softmax_sums_to_one(self):
+        probs = F.softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_softmax_stable_for_large_inputs(self):
+        probs = F.softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(probs, 0.5)
+
+    def test_softmax_monotonic(self):
+        probs = F.softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+
+class TestPooling:
+    def test_max_pool_basic(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        out = F.max_pool2d(x, 2)
+        assert out.shape == (1, 2, 2)
+        assert out[0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_overlapping_pool(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        out = F.max_pool2d(x, 3, stride=1)
+        assert out.shape == (1, 2, 2)
+        assert out[0, 0, 0] == 10.0
+
+    def test_pool_shape_checks(self):
+        with pytest.raises(ValueError):
+            F.max_pool2d(np.ones((4, 4)), 2)
+        with pytest.raises(ValueError):
+            F.max_pool2d(np.ones((1, 2, 2)), 0)
+        with pytest.raises(ValueError):
+            F.max_pool2d(np.ones((1, 2, 2)), 3)
+
+    def test_pool_never_increases_max(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 8, 8))
+        assert F.max_pool2d(x, 2).max() <= x.max()
+
+
+class TestLrnAndLinear:
+    def test_lrn_preserves_shape_and_sign(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(8, 4, 4))
+        out = F.local_response_norm(x)
+        assert out.shape == x.shape
+        assert np.all(np.sign(out) == np.sign(x))
+
+    def test_lrn_shrinks_magnitude(self):
+        x = np.full((8, 2, 2), 3.0)
+        out = F.local_response_norm(x)
+        assert np.all(np.abs(out) < np.abs(x))
+
+    def test_lrn_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            F.local_response_norm(np.ones((3, 3)))
+
+    def test_linear_matches_matmul(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=10)
+        W = rng.normal(size=(4, 10))
+        b = rng.normal(size=4)
+        assert np.allclose(F.linear(x, W, b), W @ x + b)
+
+    def test_linear_shape_checks(self):
+        with pytest.raises(ValueError):
+            F.linear(np.ones((2, 2)), np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            F.linear(np.ones(3), np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            F.linear(np.ones(4), np.ones((2, 4)), bias=np.ones(3))

@@ -1,0 +1,59 @@
+"""Tests for the GoogLeNet conv workload."""
+
+import pytest
+
+from repro.core.analytical import analyze_network, network_totals
+from repro.workloads import googlenet_conv_specs, inception_module_specs
+
+
+class TestGoogLeNetWorkload:
+    def test_fifty_eight_convolutions(self):
+        specs = googlenet_conv_specs()
+        # Stem (3) + 9 inception modules x 6 branch convs.
+        assert len(specs) == 3 + 9 * 6
+
+    def test_stem_geometry(self):
+        conv1 = googlenet_conv_specs()[0]
+        assert conv1.output_side == 112  # 224, 7x7, s=2, p=3.
+
+    def test_inception_branch_shapes_consistent(self):
+        for spec in googlenet_conv_specs():
+            # Same-padding branches preserve the spatial side.
+            if spec.m in (3, 5) and "inception" in spec.name:
+                assert spec.output_side == spec.n
+
+    def test_module_lookup(self):
+        branches = inception_module_specs("inception_4a")
+        assert len(branches) == 6
+        assert branches[0].name == "inception_4a/1x1"
+        assert all(spec.n == 14 for spec in branches)
+
+    def test_module_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            inception_module_specs("inception_9z")
+
+    def test_total_macs_in_published_range(self):
+        # GoogLeNet is ~1.5 G MACs for one inference (conv-dominated).
+        totals = network_totals(analyze_network(googlenet_conv_specs()))
+        assert 1.2e9 < totals["macs"] < 2.0e9
+
+    def test_pcnna_analytics_apply(self):
+        analyses = analyze_network(googlenet_conv_specs())
+        for analysis in analyses:
+            assert analysis.ring_savings == analysis.spec.n_input
+            assert analysis.full_system_time_s >= analysis.optical_time_s
+
+    def test_one_by_one_convs_are_dac_light(self):
+        # 1x1 reductions update only nc values per location: the smallest
+        # front-end load in the network.
+        specs = googlenet_conv_specs()
+        one_by_one = [spec for spec in specs if spec.m == 1]
+        assert one_by_one
+        for spec in one_by_one:
+            assert spec.stride_update_values == spec.nc
+
+    def test_conv_stack_latency_order_100us(self):
+        # 58 sequential layer requests: ~106 us on the paper config —
+        # still 2+ orders under electronic engines.
+        totals = network_totals(analyze_network(googlenet_conv_specs()))
+        assert 50e-6 < totals["full_system_time_s"] < 200e-6

@@ -1,0 +1,139 @@
+"""Tests for im2col / col2im and the receptive-field index map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import (
+    col2im_accumulate,
+    im2col,
+    pad_feature_map,
+    receptive_field_indices,
+)
+
+
+class TestPadding:
+    def test_zero_padding_identity(self):
+        x = np.arange(12.0).reshape(1, 3, 4)
+        assert pad_feature_map(x, 0) is x
+
+    def test_padding_shape(self):
+        x = np.ones((2, 3, 3))
+        padded = pad_feature_map(x, 2)
+        assert padded.shape == (2, 7, 7)
+
+    def test_padding_zeros_border(self):
+        x = np.ones((1, 2, 2))
+        padded = pad_feature_map(x, 1)
+        assert padded[0, 0, 0] == 0.0
+        assert padded[0, 1, 1] == 1.0
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            pad_feature_map(np.ones((3, 3)), 1)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError):
+            pad_feature_map(np.ones((1, 3, 3)), -1)
+
+
+class TestReceptiveFieldIndices:
+    def test_shape(self):
+        indices = receptive_field_indices(8, 8, 3, kernel_size=3, stride=1, padding=0)
+        assert indices.shape == (36, 27)
+
+    def test_first_window_is_top_left(self):
+        indices = receptive_field_indices(4, 4, 1, kernel_size=2, stride=1, padding=0)
+        assert indices[0].tolist() == [0, 1, 4, 5]
+
+    def test_stride_moves_window(self):
+        indices = receptive_field_indices(4, 4, 1, kernel_size=2, stride=2, padding=0)
+        assert indices[1].tolist() == [2, 3, 6, 7]
+
+    def test_channel_offsets(self):
+        indices = receptive_field_indices(2, 2, 2, kernel_size=2, stride=1, padding=0)
+        # Second channel's indices are offset by H*W = 4.
+        assert indices[0].tolist() == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_all_indices_within_padded_tensor(self):
+        indices = receptive_field_indices(5, 5, 2, kernel_size=3, stride=2, padding=1)
+        assert indices.min() >= 0
+        assert indices.max() < 2 * 7 * 7
+
+    def test_indices_unique_within_window(self):
+        indices = receptive_field_indices(6, 6, 3, kernel_size=3, stride=1, padding=2)
+        for row in indices:
+            assert len(set(row.tolist())) == len(row)
+
+
+class TestIm2Col:
+    def test_matches_manual_extraction(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        columns = im2col(x, kernel_size=2, stride=2, padding=0)
+        assert columns.shape == (4, 4)
+        assert columns[:, 0].tolist() == [0, 1, 4, 5]
+        assert columns[:, 3].tolist() == [10, 11, 14, 15]
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            im2col(np.ones((4, 4)), 2, 1, 0)
+
+    def test_padding_contributes_zeros(self):
+        x = np.ones((1, 2, 2))
+        columns = im2col(x, kernel_size=3, stride=1, padding=1)
+        # Center window covers all four ones plus five zeros.
+        assert columns.shape == (9, 4)
+        assert columns[:, 0].sum() == 4.0
+
+    @given(
+        channels=st.integers(min_value=1, max_value=3),
+        side=st.integers(min_value=2, max_value=8),
+        kernel=st.integers(min_value=1, max_value=3),
+        stride=st.integers(min_value=1, max_value=2),
+        padding=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_columns_match_direct_windows(self, channels, side, kernel, stride, padding):
+        if kernel > side + 2 * padding:
+            return
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(channels, side, side))
+        columns = im2col(x, kernel, stride, padding)
+        padded = pad_feature_map(x, padding)
+        out_side = (side + 2 * padding - kernel) // stride + 1
+        for oy in range(out_side):
+            for ox in range(out_side):
+                window = padded[
+                    :, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel
+                ].reshape(-1)
+                assert np.array_equal(columns[:, oy * out_side + ox], window)
+
+
+class TestCol2Im:
+    def test_non_overlapping_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 4, 4))
+        columns = im2col(x, kernel_size=2, stride=2, padding=0)
+        recovered = col2im_accumulate(columns, (2, 4, 4), 2, 2, 0)
+        assert np.allclose(recovered, x)
+
+    def test_overlapping_accumulates(self):
+        x = np.ones((1, 3, 3))
+        columns = im2col(x, kernel_size=2, stride=1, padding=0)
+        accumulated = col2im_accumulate(columns, (1, 3, 3), 2, 1, 0)
+        # Center value is covered by all four windows.
+        assert accumulated[0, 1, 1] == 4.0
+        assert accumulated[0, 0, 0] == 1.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            col2im_accumulate(np.zeros((4, 5)), (1, 4, 4), 2, 2, 0)
+
+    def test_padding_stripped(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 4, 4))
+        columns = im2col(x, kernel_size=3, stride=3, padding=1)
+        recovered = col2im_accumulate(columns, (1, 4, 4), 3, 3, 1)
+        assert recovered.shape == (1, 4, 4)
+        assert np.allclose(recovered, x)

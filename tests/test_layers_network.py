@@ -1,0 +1,179 @@
+"""Tests for layer objects and the sequential Network container."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network
+from repro.nn import functional as F
+
+
+def make_conv(k=2, c=1, m=3, **kwargs) -> Conv2D:
+    rng = np.random.default_rng(0)
+    return Conv2D(rng.normal(size=(k, c, m, m)), **kwargs)
+
+
+class TestConv2DLayer:
+    def test_forward_matches_functional(self):
+        rng = np.random.default_rng(1)
+        layer = make_conv(stride=2, padding=1)
+        x = rng.normal(size=(1, 6, 6))
+        assert np.allclose(
+            layer.forward(x), F.conv2d(x, layer.weights, 2, 1)
+        )
+
+    def test_output_shape_matches_forward(self):
+        layer = make_conv(k=3, c=2, m=3, padding=1)
+        x = np.zeros((2, 7, 7))
+        assert layer.output_shape(x.shape) == layer.forward(x).shape
+
+    def test_output_shape_rejects_wrong_channels(self):
+        layer = make_conv(c=2)
+        with pytest.raises(ValueError):
+            layer.output_shape((3, 7, 7))
+
+    def test_rejects_non_square_kernels(self):
+        with pytest.raises(ValueError):
+            Conv2D(np.zeros((1, 1, 2, 3)))
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            make_conv(stride=0)
+
+    def test_num_parameters(self):
+        layer = Conv2D(np.zeros((4, 3, 5, 5)), bias=np.zeros(4))
+        assert layer.num_parameters() == 4 * 3 * 25 + 4
+
+    def test_conv_spec(self):
+        layer = make_conv(k=5, c=2, m=3, stride=2, padding=1)
+        spec = layer.conv_spec(input_side=13)
+        assert spec.n == 13
+        assert spec.m == 3
+        assert spec.nc == 2
+        assert spec.num_kernels == 5
+        assert spec.s == 2
+        assert spec.p == 1
+
+
+class TestSimpleLayers:
+    def test_relu(self):
+        assert np.allclose(ReLU().forward(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_relu_shape_passthrough(self):
+        assert ReLU().output_shape((3, 4, 5)) == (3, 4, 5)
+
+    def test_maxpool_shape(self):
+        assert MaxPool2D(2).output_shape((3, 8, 8)) == (3, 4, 4)
+
+    def test_maxpool_overlapping_shape(self):
+        assert MaxPool2D(3, stride=2).output_shape((96, 55, 55)) == (96, 27, 27)
+
+    def test_maxpool_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(5).output_shape((1, 3, 3))
+
+    def test_flatten(self):
+        layer = Flatten()
+        assert layer.output_shape((2, 3, 4)) == (24,)
+        assert layer.forward(np.zeros((2, 3, 4))).shape == (24,)
+
+    def test_dense_shapes(self):
+        layer = Dense(np.zeros((5, 8)))
+        assert layer.output_shape((8,)) == (5,)
+        with pytest.raises(ValueError):
+            layer.output_shape((7,))
+
+    def test_dense_forward(self):
+        rng = np.random.default_rng(2)
+        W = rng.normal(size=(3, 6))
+        x = rng.normal(size=6)
+        assert np.allclose(Dense(W).forward(x), W @ x)
+
+    def test_softmax_layer(self):
+        out = Softmax().forward(np.array([0.0, 1.0]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_lrn_layer_shape(self):
+        assert LocalResponseNorm().output_shape((8, 3, 3)) == (8, 3, 3)
+
+    def test_lrn_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            LocalResponseNorm(size=0)
+
+
+class TestNetwork:
+    def make_net(self) -> Network:
+        rng = np.random.default_rng(3)
+        return Network(
+            [
+                Conv2D(rng.normal(size=(4, 1, 3, 3)), name="conv1"),
+                ReLU(name="relu1"),
+                MaxPool2D(2, name="pool1"),
+                Flatten(name="flatten"),
+                Dense(rng.normal(size=(10, 4 * 3 * 3)), name="fc"),
+                Softmax(name="softmax"),
+            ],
+            input_shape=(1, 8, 8),
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Network([], input_shape=(1, 4, 4))
+
+    def test_shape_inference(self):
+        net = self.make_net()
+        assert net.output_shape == (10,)
+        assert net.layer_shapes[0] == (1, 8, 8)
+        assert net.layer_shapes[1] == (4, 6, 6)
+
+    def test_incompatible_layers_raise_at_construction(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            Network(
+                [
+                    Conv2D(rng.normal(size=(4, 3, 3, 3))),  # Expects 3 channels.
+                ],
+                input_shape=(1, 8, 8),
+            )
+
+    def test_forward_output_shape(self):
+        net = self.make_net()
+        out = net.forward(np.random.default_rng(5).normal(size=(1, 8, 8)))
+        assert out.shape == (10,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_forward_rejects_wrong_input(self):
+        with pytest.raises(ValueError):
+            self.make_net().forward(np.zeros((1, 9, 9)))
+
+    def test_forward_recorded(self):
+        net = self.make_net()
+        activations = net.forward_recorded(np.zeros((1, 8, 8)))
+        assert len(activations) == len(net.layers)
+        assert activations[0].layer_name == "conv1"
+        assert activations[-1].output.shape == (10,)
+
+    def test_num_parameters(self):
+        net = self.make_net()
+        assert net.num_parameters() == 4 * 9 + 10 * 36
+
+    def test_conv_layers_and_specs(self):
+        net = self.make_net()
+        convs = net.conv_layers()
+        assert len(convs) == 1
+        specs = net.conv_specs()
+        assert specs[0].n == 8
+        assert specs[0].num_kernels == 4
+
+    def test_summary_lists_layers(self):
+        summary = self.make_net().summary()
+        assert "conv1" in summary
+        assert "total parameters" in summary

@@ -1,0 +1,93 @@
+"""Tests for the optical link budget and ENOB analysis."""
+
+import math
+
+import pytest
+
+from repro.photonics.laser import LaserSpec
+from repro.photonics.link_budget import LinkBudget, max_banks_for_bits
+from repro.photonics.waveguide import Waveguide
+
+
+class TestPowerBudget:
+    def test_path_transmission_includes_split(self):
+        one = LinkBudget(num_channels=10, num_banks=1)
+        four = LinkBudget(num_channels=10, num_banks=4)
+        assert four.path_transmission == pytest.approx(one.path_transmission / 4)
+
+    def test_bus_loss_applies(self):
+        lossless = LinkBudget(num_channels=8)
+        lossy = LinkBudget(num_channels=8, bus=Waveguide(length_m=0.05))
+        assert lossy.per_channel_power_at_detector_w < (
+            lossless.per_channel_power_at_detector_w
+        )
+
+    def test_total_power_scales_with_channels(self):
+        small = LinkBudget(num_channels=8)
+        large = LinkBudget(num_channels=16)
+        assert large.total_power_at_detector_w == pytest.approx(
+            2 * small.total_power_at_detector_w
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LinkBudget(num_channels=0)
+        with pytest.raises(ValueError):
+            LinkBudget(num_channels=4, num_banks=0)
+        with pytest.raises(ValueError):
+            LinkBudget(num_channels=4, modulator_loss_db=-1.0)
+
+
+class TestSnrAndBits:
+    def test_snr_positive_and_finite(self):
+        budget = LinkBudget(num_channels=363, num_banks=96)
+        assert 0 < budget.snr < math.inf
+
+    def test_snr_db_consistent(self):
+        budget = LinkBudget(num_channels=64, num_banks=8)
+        assert budget.snr_db == pytest.approx(10 * math.log10(budget.snr))
+
+    def test_more_banks_fewer_bits(self):
+        base = LinkBudget(num_channels=363)
+        assert (
+            base.scaled_to_banks(384).effective_bits
+            < base.scaled_to_banks(96).effective_bits
+            < base.scaled_to_banks(1).effective_bits
+        )
+
+    def test_half_bit_per_doubling_asymptotically(self):
+        # In the thermal-noise-limited regime SNR ~ 1/K^2 -> 1 bit per
+        # doubling; shot-limited gives half a bit.  Check monotone decay
+        # between those slopes.
+        base = LinkBudget(num_channels=363)
+        k1 = base.scaled_to_banks(256).effective_bits
+        k2 = base.scaled_to_banks(512).effective_bits
+        assert 0.3 < k1 - k2 < 1.2
+
+    def test_more_laser_power_more_bits(self):
+        weak = LinkBudget(num_channels=64, laser=LaserSpec(power_w=0.1e-3))
+        strong = LinkBudget(num_channels=64, laser=LaserSpec(power_w=10e-3))
+        assert strong.effective_bits > weak.effective_bits
+
+
+class TestMaxBanks:
+    def test_binary_search_is_tight(self):
+        budget = LinkBudget(num_channels=363)
+        limit = max_banks_for_bits(budget, 6.0)
+        assert budget.scaled_to_banks(limit).effective_bits >= 6.0
+        assert budget.scaled_to_banks(limit + 1).effective_bits < 6.0
+
+    def test_alexnet_conv4_k_feasible_at_low_precision(self):
+        # 384 parallel banks must be feasible at some useful precision.
+        budget = LinkBudget(num_channels=3456)
+        limit = max_banks_for_bits(budget, 4.0)
+        assert limit >= 384
+
+    def test_impossible_requirement_raises(self):
+        budget = LinkBudget(num_channels=8, laser=LaserSpec(power_w=1e-9))
+        with pytest.raises(ValueError):
+            max_banks_for_bits(budget, 14.0)
+
+    def test_higher_requirement_fewer_banks(self):
+        budget = LinkBudget(num_channels=363)
+        assert max_banks_for_bits(budget, 8.0) < max_banks_for_bits(budget, 4.0)

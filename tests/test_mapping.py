@@ -1,0 +1,99 @@
+"""Tests for the MRR-bank mapping (paper Fig. 2, section IV)."""
+
+import pytest
+
+from repro.core.config import PCNNAConfig
+from repro.core.mapping import fig2_ring_counts, map_layer
+from repro.nn.shapes import ConvLayerSpec
+from repro.workloads import alexnet_layer
+
+
+class TestFig2:
+    def test_paper_scenario_counts(self):
+        # 16 x 16 input, five 3 x 3 kernels, one channel.
+        counts = fig2_ring_counts()
+        assert counts.rings_per_kernel_unfiltered == 256
+        assert counts.rings_per_kernel_filtered == 9
+        assert counts.total_unfiltered == 1280
+        assert counts.total_filtered == 45
+
+    def test_savings_ratio(self):
+        counts = fig2_ring_counts()
+        assert counts.savings == pytest.approx(256 / 9)
+
+    def test_custom_scenario(self):
+        counts = fig2_ring_counts(input_side=8, kernel_size=2, num_kernels=3)
+        assert counts.rings_per_kernel_unfiltered == 64
+        assert counts.rings_per_kernel_filtered == 4
+        assert counts.total_filtered == 12
+
+    def test_multichannel(self):
+        counts = fig2_ring_counts(channels=4)
+        assert counts.rings_per_kernel_filtered == 36
+        assert counts.rings_per_kernel_unfiltered == 1024
+
+
+class TestMapLayer:
+    def test_filtered_rings_per_bank_is_nkernel(self):
+        spec = alexnet_layer("conv4")
+        mapping = map_layer(spec)
+        assert mapping.rings_per_bank == 3456
+        assert mapping.filtered
+
+    def test_unfiltered_rings_per_bank_is_ninput(self):
+        spec = alexnet_layer("conv1")
+        mapping = map_layer(spec, filtered=False)
+        assert mapping.rings_per_bank == 150_528
+
+    def test_total_rings_matches_eq5(self):
+        spec = alexnet_layer("conv2")
+        mapping = map_layer(spec)
+        assert mapping.total_rings == spec.num_kernels * spec.n_kernel
+
+    def test_banks_instantiated_uncapped(self):
+        spec = alexnet_layer("conv5")
+        mapping = map_layer(spec)
+        assert len(mapping.banks) == 256
+        assert mapping.parallel_kernel_passes == 1
+
+    def test_bank_cap_forces_passes(self):
+        spec = alexnet_layer("conv4")  # 384 kernels.
+        config = PCNNAConfig(max_parallel_kernels=100)
+        mapping = map_layer(spec, config)
+        assert len(mapping.banks) == 100
+        assert mapping.parallel_kernel_passes == 4
+
+    def test_wavelength_groups_for_large_fields(self):
+        spec = alexnet_layer("conv4")  # 3456 wavelengths needed.
+        mapping = map_layer(spec)
+        # A single ring FSR fits far fewer than 3456 100-GHz channels.
+        assert mapping.wavelength_groups > 1
+
+    def test_small_field_single_group(self):
+        spec = ConvLayerSpec("t", n=8, m=3, nc=1, num_kernels=4)
+        mapping = map_layer(spec)
+        assert mapping.wavelength_groups == 1
+
+    def test_wdm_grid_sized_to_group(self):
+        spec = ConvLayerSpec("t", n=8, m=3, nc=2, num_kernels=4)
+        mapping = map_layer(spec)
+        grid = mapping.wdm_grid()
+        # 18 wavelengths over 2 FSR-limited groups -> 9-channel grid.
+        assert mapping.wavelength_groups == 2
+        assert grid.num_channels == 9
+        assert (
+            grid.num_channels * mapping.wavelength_groups
+            >= mapping.wavelengths_needed
+        )
+
+    def test_bank_channel_lookup(self):
+        spec = ConvLayerSpec("t", n=8, m=3, nc=2, num_kernels=2)
+        mapping = map_layer(spec)
+        bank = mapping.banks[0]
+        assert bank.channel_for(0, 0, 0, spec.m) == 0
+        assert bank.channel_for(1, 2, 2, spec.m) == 17
+
+    def test_bank_channel_lookup_out_of_range(self):
+        spec = ConvLayerSpec("t", n=8, m=3, nc=1, num_kernels=1)
+        with pytest.raises(IndexError):
+            map_layer(spec).banks[0].channel_for(1, 0, 0, spec.m)

@@ -1,0 +1,145 @@
+"""Tests for the SRAM cache and DRAM models."""
+
+import pytest
+
+from repro.electronics.dram import Dram, DramSpec
+from repro.electronics.sram import SramCache, SramSpec
+
+
+class TestSramSpec:
+    def test_paper_capacity(self):
+        spec = SramSpec()
+        assert spec.capacity_bits == 128 * 1024
+        assert spec.capacity_words == 8192
+
+    def test_paper_access_time(self):
+        assert SramSpec().access_time_s == pytest.approx(7e-9)
+
+    def test_paper_area(self):
+        assert SramSpec().area_mm2 == pytest.approx(0.443)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SramSpec(capacity_bits=0)
+
+    def test_rejects_bad_word(self):
+        with pytest.raises(ValueError):
+            SramSpec(word_bits=-1)
+
+
+class TestSramCache:
+    def test_miss_then_hit(self):
+        cache = SramCache()
+        assert not cache.read("a")
+        cache.write("a")
+        assert cache.read("a")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_fifo_eviction(self):
+        cache = SramCache(SramSpec(capacity_bits=4 * 16))  # 4 words.
+        for key in "abcd":
+            cache.write(key)
+        cache.write("e")  # Evicts "a".
+        assert not cache.contains("a")
+        assert cache.contains("e")
+        assert cache.stats.evictions == 1
+
+    def test_rewrite_does_not_evict(self):
+        cache = SramCache(SramSpec(capacity_bits=2 * 16))
+        cache.write("a")
+        cache.write("b")
+        cache.write("a")
+        assert cache.contains("a")
+        assert cache.contains("b")
+        assert cache.stats.evictions == 0
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = SramCache(SramSpec(capacity_bits=3 * 16))
+        for index in range(10):
+            cache.write(index)
+        assert cache.occupancy == 3
+
+    def test_invalidate(self):
+        cache = SramCache()
+        cache.write("x")
+        cache.invalidate()
+        assert not cache.contains("x")
+        assert cache.occupancy == 0
+
+    def test_access_time(self):
+        cache = SramCache()
+        assert cache.access_time_s(3) == pytest.approx(21e-9)
+
+    def test_access_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SramCache().access_time_s(-1)
+
+    def test_active_power(self):
+        cache = SramCache()
+        # 25 uW/MHz at 100 MHz = 2.5 mW.
+        assert cache.active_power_w(100e6) == pytest.approx(2.5e-3)
+
+    def test_active_power_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            SramCache().active_power_w(-1.0)
+
+    def test_hit_rate(self):
+        cache = SramCache()
+        cache.write("a")
+        cache.read("a")
+        cache.read("b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_no_reads(self):
+        assert SramCache().stats.hit_rate == 0.0
+
+
+class TestDram:
+    def test_transfer_time_includes_latency_and_bandwidth(self):
+        dram = Dram(DramSpec(bandwidth_bytes_per_s=1e9, access_latency_s=50e-9))
+        assert dram.transfer_time_s(1000) == pytest.approx(50e-9 + 1e-6)
+
+    def test_zero_bytes_zero_time(self):
+        assert Dram().transfer_time_s(0) == 0.0
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            Dram().transfer_time_s(-1)
+
+    def test_read_write_accounting(self):
+        dram = Dram()
+        dram.read(100)
+        dram.write(200)
+        assert dram.stats.bytes_read == 100
+        assert dram.stats.bytes_written == 200
+        assert dram.stats.total_bytes == 300
+        assert dram.stats.transfers == 2
+
+    def test_stream_has_no_fixed_latency(self):
+        dram = Dram(DramSpec(bandwidth_bytes_per_s=1e9, access_latency_s=50e-9))
+        assert dram.stream_time_s(1000) == pytest.approx(1e-6)
+
+    def test_stream_accounts_traffic(self):
+        dram = Dram()
+        dram.stream_read(64)
+        dram.stream_write(32)
+        assert dram.stats.bytes_read == 64
+        assert dram.stats.bytes_written == 32
+
+    def test_energy(self):
+        dram = Dram(DramSpec(energy_per_byte_j=70e-12))
+        dram.read(1000)
+        assert dram.energy_j() == pytest.approx(70e-9)
+
+    def test_reset_stats(self):
+        dram = Dram()
+        dram.read(10)
+        dram.reset_stats()
+        assert dram.stats.total_bytes == 0
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            DramSpec(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            DramSpec(access_latency_s=-1.0)

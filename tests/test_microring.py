@@ -1,0 +1,187 @@
+"""Tests for the microring resonator model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.constants import C_BAND_CENTER_HZ
+from repro.photonics.microring import Microring, MicroringDesign, rings_area_m2
+
+
+class TestMicroringDesign:
+    def test_defaults_valid(self):
+        design = MicroringDesign()
+        assert design.radius_m > 0
+        assert design.quality_factor > 0
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            MicroringDesign(radius_m=0.0)
+
+    def test_rejects_nonpositive_q(self):
+        with pytest.raises(ValueError):
+            MicroringDesign(quality_factor=-1.0)
+
+    def test_rejects_bad_peak_transmission(self):
+        with pytest.raises(ValueError):
+            MicroringDesign(peak_drop_transmission=1.5)
+        with pytest.raises(ValueError):
+            MicroringDesign(peak_drop_transmission=0.0)
+
+    def test_rejects_bad_min_transmission(self):
+        with pytest.raises(ValueError):
+            MicroringDesign(min_through_transmission=1.0)
+        with pytest.raises(ValueError):
+            MicroringDesign(min_through_transmission=-0.1)
+
+    def test_circumference(self):
+        design = MicroringDesign(radius_m=10e-6)
+        assert design.circumference_m == pytest.approx(2 * math.pi * 10e-6)
+
+    def test_footprint_area(self):
+        design = MicroringDesign(footprint_m=25e-6)
+        assert design.footprint_area_m2 == pytest.approx(625e-12)
+
+    def test_fsr_formula(self):
+        design = MicroringDesign(radius_m=10e-6, group_index=4.2)
+        expected = 299_792_458.0 / (4.2 * 2 * math.pi * 10e-6)
+        assert design.free_spectral_range_hz() == pytest.approx(expected)
+
+    def test_fsr_decreases_with_radius(self):
+        small = MicroringDesign(radius_m=5e-6)
+        large = MicroringDesign(radius_m=20e-6)
+        assert small.free_spectral_range_hz() > large.free_spectral_range_hz()
+
+    def test_linewidth_is_resonance_over_q(self):
+        design = MicroringDesign(quality_factor=10_000)
+        assert design.linewidth_hz(193e12) == pytest.approx(19.3e9)
+
+    def test_linewidth_rejects_nonpositive_resonance(self):
+        with pytest.raises(ValueError):
+            MicroringDesign().linewidth_hz(0.0)
+
+    def test_finesse_is_fsr_over_linewidth(self):
+        design = MicroringDesign()
+        resonance = C_BAND_CENTER_HZ
+        expected = design.free_spectral_range_hz() / design.linewidth_hz(resonance)
+        assert design.finesse(resonance) == pytest.approx(expected)
+
+
+class TestMicroringTransfer:
+    def make_ring(self, **kwargs) -> Microring:
+        return Microring(C_BAND_CENTER_HZ, MicroringDesign(**kwargs))
+
+    def test_on_resonance_drop_is_peak(self):
+        ring = self.make_ring(peak_drop_transmission=0.9)
+        assert ring.drop_at_target() == pytest.approx(0.9)
+
+    def test_on_resonance_through_is_minimum(self):
+        ring = self.make_ring(min_through_transmission=0.05)
+        assert ring.through_at_target() == pytest.approx(0.05)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Microring(0.0)
+
+    def test_transmissions_bounded(self):
+        ring = self.make_ring()
+        detunings = np.linspace(-50, 50, 201) * ring.linewidth_hz
+        for delta in detunings:
+            ring.detuning_hz = float(delta)
+            drop = ring.drop_at_target()
+            through = ring.through_at_target()
+            assert 0.0 <= drop <= 1.0
+            assert 0.0 <= through <= 1.0
+
+    def test_drop_plus_through_is_unity_for_ideal_ring(self):
+        ring = self.make_ring(peak_drop_transmission=1.0, min_through_transmission=0.0)
+        for detuning in (0.0, 0.5, 2.0, 10.0):
+            ring.detuning_hz = detuning * ring.linewidth_hz
+            total = ring.drop_at_target() + ring.through_at_target()
+            assert total == pytest.approx(1.0)
+
+    def test_half_linewidth_detuning_gives_half_drop(self):
+        ring = self.make_ring(peak_drop_transmission=1.0)
+        ring.detuning_hz = 0.5 * ring.linewidth_hz
+        assert ring.drop_at_target() == pytest.approx(0.5)
+
+    def test_drop_decreases_monotonically_with_detuning(self):
+        ring = self.make_ring()
+        previous = 1.1
+        for detuning in np.linspace(0, 20, 41):
+            ring.detuning_hz = detuning * ring.linewidth_hz
+            drop = ring.drop_at_target()
+            assert drop < previous
+            previous = drop
+
+    def test_lorentzian_symmetric(self):
+        ring = self.make_ring()
+        ring.detuning_hz = 3 * ring.linewidth_hz
+        positive = ring.drop_at_target()
+        ring.detuning_hz = -3 * ring.linewidth_hz
+        assert ring.drop_at_target() == pytest.approx(positive)
+
+    def test_vectorized_over_carriers(self):
+        ring = self.make_ring()
+        carriers = np.array([ring.resonance_hz, ring.resonance_hz + 100e9])
+        drops = ring.drop_transmission(carriers)
+        assert drops.shape == (2,)
+        assert drops[0] > drops[1]
+
+
+class TestMicroringCalibration:
+    def make_ring(self, **kwargs) -> Microring:
+        return Microring(C_BAND_CENTER_HZ, MicroringDesign(**kwargs))
+
+    @given(target=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_drop_inversion_roundtrip(self, target):
+        ring = self.make_ring(peak_drop_transmission=1.0)
+        ring.set_drop_transmission(target)
+        assert ring.drop_at_target() == pytest.approx(target, rel=1e-9)
+
+    def test_drop_inversion_rejects_out_of_range(self):
+        ring = self.make_ring(peak_drop_transmission=0.9)
+        with pytest.raises(ValueError):
+            ring.detuning_for_drop(0.95)
+        with pytest.raises(ValueError):
+            ring.detuning_for_drop(0.0)
+
+    @given(target=st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_through_inversion_roundtrip(self, target):
+        ring = self.make_ring()
+        detuning = ring.detuning_for_through(target)
+        ring.detuning_hz = detuning
+        assert ring.through_at_target() == pytest.approx(target, abs=1e-9)
+
+    def test_through_inversion_rejects_out_of_range(self):
+        ring = self.make_ring(min_through_transmission=0.1)
+        with pytest.raises(ValueError):
+            ring.detuning_for_through(0.05)
+        with pytest.raises(ValueError):
+            ring.detuning_for_through(1.0)
+
+    def test_zero_detuning_for_peak_drop(self):
+        ring = self.make_ring()
+        assert ring.detuning_for_drop(1.0) == pytest.approx(0.0)
+
+
+class TestRingsArea:
+    def test_paper_conv4_area(self):
+        # 3456 rings at (25 um)^2 = 2.16 mm^2 — the paper's "2.2 mm^2".
+        area = rings_area_m2(3456)
+        assert area * 1e6 == pytest.approx(2.16, rel=1e-2)
+
+    def test_zero_rings_zero_area(self):
+        assert rings_area_m2(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rings_area_m2(-1)
+
+    def test_scales_linearly(self):
+        assert rings_area_m2(200) == pytest.approx(2 * rings_area_m2(100))

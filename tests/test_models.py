@@ -1,0 +1,100 @@
+"""Tests for the reference model builders."""
+
+import numpy as np
+import pytest
+
+from repro.nn import build_alexnet, build_lenet5, build_vgg16
+from repro.workloads import ALEXNET_CONV_LAYERS, VGG16_CONV_LAYERS
+
+
+class TestAlexNet:
+    def test_paper_geometry(self):
+        net = build_alexnet(include_classifier=False)
+        specs = net.conv_specs()
+        assert [spec.name for spec in specs] == [
+            "conv1",
+            "conv2",
+            "conv3",
+            "conv4",
+            "conv5",
+        ]
+        # Must match the workload table used by the analytics exactly.
+        for built, table in zip(specs, ALEXNET_CONV_LAYERS):
+            assert built.n == table.n
+            assert built.m == table.m
+            assert built.nc == table.nc
+            assert built.num_kernels == table.num_kernels
+            assert built.s == table.s
+            assert built.p == table.p
+
+    def test_feature_shapes(self):
+        net = build_alexnet(include_classifier=False)
+        assert net.output_shape == (256, 6, 6)
+
+    def test_classifier_output(self):
+        net = build_alexnet(scale=0.05, num_classes=10)
+        assert net.output_shape == (10,)
+
+    def test_scaled_forward_runs(self):
+        net = build_alexnet(scale=0.05, include_classifier=False, seed=1)
+        out = net.forward(np.random.default_rng(0).normal(size=(3, 224, 224)).astype(np.float32))
+        assert out.shape[1:] == (6, 6)
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            build_alexnet(scale=0.0)
+        with pytest.raises(ValueError):
+            build_alexnet(scale=1.5)
+
+    def test_seed_reproducible(self):
+        a = build_alexnet(scale=0.05, seed=7, include_classifier=False)
+        b = build_alexnet(scale=0.05, seed=7, include_classifier=False)
+        assert np.array_equal(a.conv_layers()[0].weights, b.conv_layers()[0].weights)
+
+    def test_full_scale_parameter_count_in_range(self):
+        # Conv parameters of single-tower AlexNet: ~3.7 M.
+        net = build_alexnet(include_classifier=False)
+        assert 3.0e6 < net.num_parameters() < 4.5e6
+
+
+class TestLeNet5:
+    def test_output_is_distribution(self):
+        net = build_lenet5()
+        out = net.forward(np.random.default_rng(1).normal(size=(1, 32, 32)))
+        assert out.shape == (10,)
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 0)
+
+    def test_conv_specs(self):
+        specs = build_lenet5().conv_specs()
+        assert [spec.num_kernels for spec in specs] == [6, 16, 120]
+        assert [spec.n for spec in specs] == [32, 14, 5]
+
+    def test_custom_classes(self):
+        assert build_lenet5(num_classes=7).output_shape == (7,)
+
+
+class TestVgg16:
+    def test_thirteen_conv_layers(self):
+        net = build_vgg16(scale=0.05)
+        assert len(net.conv_layers()) == 13
+
+    def test_specs_match_workload_table(self):
+        net = build_vgg16(scale=1.0)
+        for built, table in zip(net.conv_specs(), VGG16_CONV_LAYERS):
+            assert built.n == table.n
+            assert built.nc == table.nc
+            assert built.num_kernels == table.num_kernels
+
+    def test_feature_output_shape(self):
+        net = build_vgg16(scale=0.05)
+        # 224 halved five times = 7.
+        assert net.output_shape[1:] == (7, 7)
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            build_vgg16(scale=-0.1)
+
+    def test_classifier_head(self):
+        net = build_vgg16(scale=0.02, include_classifier=True, num_classes=5)
+        assert net.output_shape == (5,)

@@ -1,0 +1,107 @@
+"""Tests for the inter-layer pipeline (multi-core) model."""
+
+import pytest
+
+from repro.core.analytical import full_system_time_s
+from repro.core.multicore import (
+    balanced_partition,
+    contiguous_partition,
+    layer_times,
+    pipeline_speedup,
+)
+from repro.workloads import alexnet_conv_specs
+
+
+class TestContiguousPartition:
+    def test_explicit_split(self):
+        specs = alexnet_conv_specs()
+        partition = contiguous_partition(specs, [2, 4])
+        assert partition.num_cores == 3
+        assert partition.slices == ((0, 2), (2, 4), (4, 5))
+
+    def test_core_times_sum_to_total(self):
+        specs = alexnet_conv_specs()
+        partition = contiguous_partition(specs, [1, 3])
+        assert sum(partition.core_times_s) == pytest.approx(
+            sum(layer_times(specs))
+        )
+
+    def test_single_core(self):
+        specs = alexnet_conv_specs()
+        partition = contiguous_partition(specs, [])
+        assert partition.num_cores == 1
+        assert partition.bottleneck_s == pytest.approx(sum(layer_times(specs)))
+
+    def test_rejects_bad_boundaries(self):
+        specs = alexnet_conv_specs()
+        with pytest.raises(ValueError):
+            contiguous_partition(specs, [0])
+        with pytest.raises(ValueError):
+            contiguous_partition(specs, [5])
+        with pytest.raises(ValueError):
+            contiguous_partition(specs, [3, 2])
+        with pytest.raises(ValueError):
+            contiguous_partition(specs, [2, 2])
+        with pytest.raises(ValueError):
+            contiguous_partition([], [])
+
+    def test_latency_is_sum_of_cores(self):
+        specs = alexnet_conv_specs()
+        partition = contiguous_partition(specs, [2])
+        assert partition.single_image_latency_s == pytest.approx(
+            sum(partition.core_times_s)
+        )
+
+
+class TestBalancedPartition:
+    def test_optimal_never_worse_than_any_explicit(self):
+        specs = alexnet_conv_specs()
+        best = balanced_partition(specs, 2)
+        for boundary in range(1, len(specs)):
+            candidate = contiguous_partition(specs, [boundary])
+            assert best.bottleneck_s <= candidate.bottleneck_s + 1e-15
+
+    def test_one_core_per_layer(self):
+        specs = alexnet_conv_specs()
+        partition = balanced_partition(specs, len(specs))
+        times = layer_times(specs)
+        assert partition.bottleneck_s == pytest.approx(max(times))
+
+    def test_rejects_bad_core_count(self):
+        specs = alexnet_conv_specs()
+        with pytest.raises(ValueError):
+            balanced_partition(specs, 0)
+        with pytest.raises(ValueError):
+            balanced_partition(specs, 6)
+
+    def test_balance_metric(self):
+        specs = alexnet_conv_specs()
+        partition = balanced_partition(specs, 2)
+        assert 0.0 < partition.balance <= 1.0
+
+    def test_bottleneck_decreases_with_cores(self):
+        specs = alexnet_conv_specs()
+        bottlenecks = [
+            balanced_partition(specs, cores).bottleneck_s
+            for cores in range(1, len(specs) + 1)
+        ]
+        assert all(a >= b for a, b in zip(bottlenecks, bottlenecks[1:]))
+
+
+class TestPipelineSpeedup:
+    def test_one_core_unity(self):
+        assert pipeline_speedup(alexnet_conv_specs(), 1) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_cores(self):
+        specs = alexnet_conv_specs()
+        for cores in range(1, len(specs) + 1):
+            speedup = pipeline_speedup(specs, cores)
+            assert 1.0 <= speedup <= cores + 1e-9
+
+    def test_speedup_bounded_by_imbalance(self):
+        # Perfect speedup requires perfectly balanced layers; AlexNet's
+        # conv1 (6.7 us) caps the 5-core speedup below 5.
+        specs = alexnet_conv_specs()
+        total = sum(full_system_time_s(spec) for spec in specs)
+        longest = max(full_system_time_s(spec) for spec in specs)
+        assert pipeline_speedup(specs, 5) == pytest.approx(total / longest)

@@ -1,0 +1,86 @@
+"""Tests for the NoiseConfig gating logic."""
+
+import pytest
+
+from repro.photonics.noise import IDEAL, NoiseConfig, ideal, realistic
+
+
+class TestGating:
+    def test_default_is_ideal(self):
+        noise = NoiseConfig()
+        assert not noise.enabled
+        assert not noise.shot_noise_active
+        assert not noise.thermal_noise_active
+        assert not noise.rin_active
+        assert not noise.tuning_error_active
+        assert not noise.crosstalk_active
+
+    def test_master_switch_gates_everything(self):
+        noise = NoiseConfig(
+            enabled=False,
+            shot_noise=True,
+            thermal_noise=True,
+            relative_intensity_noise_db_per_hz=-120.0,
+            ring_tuning_sigma=0.01,
+            crosstalk=True,
+        )
+        assert not noise.shot_noise_active
+        assert not noise.thermal_noise_active
+        assert not noise.rin_active
+        assert not noise.tuning_error_active
+        assert not noise.crosstalk_active
+
+    def test_enabled_activates_selected(self):
+        noise = NoiseConfig(enabled=True, shot_noise=True, thermal_noise=False)
+        assert noise.shot_noise_active
+        assert not noise.thermal_noise_active
+
+    def test_rin_requires_magnitude(self):
+        noise = NoiseConfig(enabled=True, relative_intensity_noise_db_per_hz=None)
+        assert not noise.rin_active
+
+    def test_tuning_error_requires_positive_sigma(self):
+        noise = NoiseConfig(enabled=True, ring_tuning_sigma=0.0)
+        assert not noise.tuning_error_active
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(ring_tuning_sigma=-0.1)
+
+
+class TestRng:
+    def test_seed_reproducibility(self):
+        a = NoiseConfig(enabled=True, seed=42)
+        b = NoiseConfig(enabled=True, seed=42)
+        assert a.rng.normal() == b.rng.normal()
+
+    def test_different_seeds_differ(self):
+        a = NoiseConfig(enabled=True, seed=1)
+        b = NoiseConfig(enabled=True, seed=2)
+        assert a.rng.normal() != b.rng.normal()
+
+    def test_reseed_resets_stream(self):
+        noise = NoiseConfig(enabled=True, seed=0)
+        first = noise.rng.normal()
+        noise.reseed(0)
+        assert noise.rng.normal() == first
+
+
+class TestFactories:
+    def test_ideal_factory(self):
+        assert not ideal().enabled
+
+    def test_ideal_shared_constant(self):
+        assert not IDEAL.enabled
+
+    def test_realistic_has_all_effects(self):
+        noise = realistic(seed=3)
+        assert noise.enabled
+        assert noise.shot_noise_active
+        assert noise.thermal_noise_active
+        assert noise.rin_active
+        assert noise.tuning_error_active
+        assert noise.crosstalk_active
+
+    def test_realistic_seeded(self):
+        assert realistic(5).seed == 5

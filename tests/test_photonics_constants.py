@@ -1,0 +1,89 @@
+"""Tests for repro.photonics.constants unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.photonics import constants as C
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero_db_is_unity(self):
+        assert C.db_to_linear(0.0) == 1.0
+
+    def test_db_to_linear_ten_db_is_ten(self):
+        assert C.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_negative(self):
+        assert C.db_to_linear(-30.0) == pytest.approx(1e-3)
+
+    def test_linear_to_db_roundtrip(self):
+        for value in (0.01, 0.5, 1.0, 7.3, 1e4):
+            assert C.db_to_linear(C.linear_to_db(value)) == pytest.approx(value)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            C.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            C.linear_to_db(-1.0)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert C.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert C.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_roundtrip(self):
+        for power in (1e-6, 1e-3, 0.25, 2.0):
+            assert C.dbm_to_watts(C.watts_to_dbm(power)) == pytest.approx(power)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            C.watts_to_dbm(0.0)
+
+
+class TestWavelengthFrequency:
+    def test_c_band_center_frequency(self):
+        # 1550 nm is ~193.4 THz.
+        assert C.wavelength_to_frequency(1.55e-6) == pytest.approx(
+            193.4e12, rel=1e-3
+        )
+
+    def test_roundtrip(self):
+        for wavelength in (1.3e-6, 1.55e-6, 2.0e-6):
+            frequency = C.wavelength_to_frequency(wavelength)
+            assert C.frequency_to_wavelength(frequency) == pytest.approx(wavelength)
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            C.wavelength_to_frequency(0.0)
+
+    def test_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            C.frequency_to_wavelength(-1.0)
+
+    def test_photon_energy_at_1550nm(self):
+        # E = h*c/lambda ~ 0.8 eV ~ 1.28e-19 J at 1550 nm.
+        assert C.photon_energy(1.55e-6) == pytest.approx(1.28e-19, rel=1e-2)
+
+    def test_photon_energy_scales_inversely_with_wavelength(self):
+        assert C.photon_energy(0.775e-6) == pytest.approx(
+            2.0 * C.photon_energy(1.55e-6)
+        )
+
+
+class TestDefaults:
+    def test_c_band_center_consistency(self):
+        assert C.C_BAND_CENTER_HZ == pytest.approx(
+            C.SPEED_OF_LIGHT / C.C_BAND_CENTER_M
+        )
+
+    def test_ring_footprint_is_paper_value(self):
+        assert C.DEFAULT_RING_FOOTPRINT_M == pytest.approx(25e-6)
+
+    def test_speed_of_light_exact_si(self):
+        assert C.SPEED_OF_LIGHT == 299_792_458.0

@@ -1,0 +1,106 @@
+"""Tests for the power/energy and area roll-ups."""
+
+import pytest
+
+from repro.core.area import estimate_layer_area, network_max_area_mm2
+from repro.core.config import PCNNAConfig
+from repro.core.power import (
+    estimate_layer_power,
+    estimate_network_energy_j,
+)
+from repro.workloads import alexnet_conv_specs, alexnet_layer
+
+
+class TestPower:
+    def test_components_positive(self):
+        report = estimate_layer_power(alexnet_layer("conv3"))
+        assert report.laser_w > 0
+        assert report.tuning_w > 0
+        assert report.dac_w > 0
+        assert report.adc_w > 0
+        assert report.sram_w > 0
+        assert report.receiver_w > 0
+
+    def test_total_is_sum(self):
+        report = estimate_layer_power(alexnet_layer("conv3"))
+        assert report.total_power_w == pytest.approx(
+            report.laser_w
+            + report.tuning_w
+            + report.dac_w
+            + report.adc_w
+            + report.sram_w
+            + report.receiver_w
+        )
+
+    def test_paper_dac_power(self):
+        # 10 input DACs + 1 weight DAC at 330 mW each.
+        report = estimate_layer_power(alexnet_layer("conv1"))
+        assert report.dac_w == pytest.approx(11 * 0.330)
+
+    def test_energy_includes_dram(self):
+        report = estimate_layer_power(alexnet_layer("conv5"))
+        assert report.layer_energy_j > report.total_power_w * report.layer_time_s
+
+    def test_tuning_power_scales_with_banks(self):
+        conv4 = estimate_layer_power(alexnet_layer("conv4"))
+        conv5 = estimate_layer_power(alexnet_layer("conv5"))
+        # conv4 has 384 banks vs conv5's 256, same rings per bank.
+        assert conv4.tuning_w > conv5.tuning_w
+
+    def test_bank_cap_reduces_tuning_power(self):
+        spec = alexnet_layer("conv4")
+        capped = PCNNAConfig(max_parallel_kernels=64)
+        assert (
+            estimate_layer_power(spec, capped).tuning_w
+            < estimate_layer_power(spec).tuning_w
+        )
+
+    def test_energy_per_mac_positive(self):
+        report = estimate_layer_power(alexnet_layer("conv2"))
+        assert report.energy_per_mac_j > 0
+
+    def test_network_energy_sums(self):
+        specs = alexnet_conv_specs()
+        total = estimate_network_energy_j(specs)
+        assert total == pytest.approx(
+            sum(estimate_layer_power(s).layer_energy_j for s in specs)
+        )
+
+
+class TestArea:
+    def test_conv4_ring_area_dominated_by_banks(self):
+        report = estimate_layer_area(alexnet_layer("conv4"))
+        # 384 banks x 3456 rings x (25 um)^2 ~ 829 mm^2.
+        assert report.rings_mm2 == pytest.approx(829.0, rel=0.01)
+        assert report.rings_per_bank == 3456
+        assert report.num_banks == 384
+
+    def test_single_bank_area_is_paper_number(self):
+        spec = alexnet_layer("conv4")
+        config = PCNNAConfig(max_parallel_kernels=1)
+        report = estimate_layer_area(spec, config)
+        assert report.rings_mm2 == pytest.approx(2.16, rel=0.01)
+
+    def test_periphery_areas(self):
+        report = estimate_layer_area(alexnet_layer("conv1"))
+        assert report.dac_mm2 == pytest.approx(11 * 0.52)
+        assert report.sram_mm2 == pytest.approx(0.443)
+
+    def test_total_is_sum(self):
+        report = estimate_layer_area(alexnet_layer("conv2"))
+        assert report.total_mm2 == pytest.approx(
+            report.rings_mm2 + report.dac_mm2 + report.adc_mm2 + report.sram_mm2
+        )
+
+    def test_network_max_area_takes_largest(self):
+        specs = alexnet_conv_specs()
+        largest = max(estimate_layer_area(s).total_mm2 for s in specs)
+        assert network_max_area_mm2(specs) == pytest.approx(largest)
+
+    def test_bank_cap_shrinks_area(self):
+        spec = alexnet_layer("conv4")
+        capped = PCNNAConfig(max_parallel_kernels=32)
+        assert (
+            estimate_layer_area(spec, capped).total_mm2
+            < estimate_layer_area(spec).total_mm2
+        )

@@ -1,0 +1,182 @@
+"""Cross-cutting property-based tests on system invariants.
+
+Collected here are the invariants that span modules — the mathematical
+identities the design rests on, checked over randomized inputs with
+hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.accelerator import PhotonicConvolution
+from repro.core.analytical import (
+    full_system_time_s,
+    microrings_filtered,
+    microrings_unfiltered,
+    optical_core_time_s,
+)
+from repro.core.config import PCNNAConfig
+from repro.core.scheduler import LayerSchedule
+from repro.nn import functional as F
+from repro.nn.shapes import ConvLayerSpec
+from repro.photonics.broadcast_weight import PhotonicMacUnit
+
+
+def valid_spec(draw):
+    """Draw a geometrically valid ConvLayerSpec."""
+    n = draw(st.integers(min_value=3, max_value=24))
+    m = draw(st.integers(min_value=1, max_value=min(n, 7)))
+    return ConvLayerSpec(
+        name="prop",
+        n=n,
+        m=m,
+        nc=draw(st.integers(min_value=1, max_value=8)),
+        num_kernels=draw(st.integers(min_value=1, max_value=64)),
+        s=draw(st.integers(min_value=1, max_value=3)),
+        p=draw(st.integers(min_value=0, max_value=2)),
+    )
+
+
+spec_strategy = st.composite(valid_spec)()
+
+
+class TestAnalyticalIdentities:
+    @given(spec=spec_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_filtering_saves_exactly_ninput(self, spec):
+        """eq. 4 / eq. 5 == Ninput for every geometry."""
+        assert microrings_unfiltered(spec) == (
+            microrings_filtered(spec) * spec.n_input
+        )
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_full_system_never_beats_optical_core(self, spec):
+        assert full_system_time_s(spec) >= optical_core_time_s(spec) - 1e-18
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_eq3_consistency(self, spec):
+        """Noutput == Nlocs * K and both positive."""
+        assert spec.n_output == spec.n_locs * spec.num_kernels
+        assert spec.n_locs >= 1
+
+    @given(spec=spec_strategy, extra_dacs=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_more_dacs_never_slower(self, spec, extra_dacs):
+        base = PCNNAConfig()
+        more = base.with_dacs(base.num_input_dacs + extra_dacs)
+        assert full_system_time_s(spec, more) <= full_system_time_s(spec, base)
+
+
+class TestScheduleInvariants:
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_first_step_is_full_window(self, spec):
+        first = next(iter(LayerSchedule(spec).steps()))
+        assert first.new_values == spec.n_kernel
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_loaded_values_bounded(self, spec):
+        """Total loads lie between distinct-value count and Nlocs*Nkernel."""
+        schedule = LayerSchedule(spec)
+        total = schedule.total_values_loaded()
+        assert total <= spec.n_locs * spec.n_kernel
+        assert total >= spec.n_kernel  # at least the first window.
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_first_touch_total_independent_of_order(self, spec):
+        schedule = LayerSchedule(spec)
+        distinct = int(
+            np.unique(
+                np.concatenate(
+                    [schedule.indices_for(i) for i in range(spec.n_locs)]
+                )
+            ).size
+        )
+        assert int(schedule.first_touch_counts().sum()) == distinct
+
+
+class TestPhotonicLinearity:
+    @given(
+        x=arrays(float, 8, elements=st.floats(min_value=0.0, max_value=0.5)),
+        y=arrays(float, 8, elements=st.floats(min_value=0.0, max_value=0.5)),
+        w=arrays(float, 8, elements=st.floats(min_value=-1.0, max_value=1.0)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mac_additive_in_inputs(self, x, y, w):
+        """dot(x + y, w) == dot(x, w) + dot(y, w) through the devices."""
+        mac = PhotonicMacUnit(8)
+        combined = mac.dot(x + y, w)
+        separate = mac.dot(x, w) + mac.dot(y, w)
+        assert combined == pytest.approx(separate, abs=1e-9)
+
+    @given(
+        x=arrays(float, 6, elements=st.floats(min_value=0.0, max_value=1.0)),
+        w=arrays(float, 6, elements=st.floats(min_value=-1.0, max_value=1.0)),
+        scale=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mac_homogeneous_in_weights(self, x, w, scale):
+        mac = PhotonicMacUnit(6)
+        assert mac.dot(x, w * scale) == pytest.approx(
+            scale * mac.dot(x, w), abs=1e-9
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_mac_permutation_invariant(self, seed):
+        """Reordering (input, weight) pairs cannot change the sum."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, 10)
+        w = rng.uniform(-1, 1, 10)
+        perm = rng.permutation(10)
+        mac = PhotonicMacUnit(10)
+        assert mac.dot(x, w) == pytest.approx(
+            mac.dot(x[perm], w[perm]), abs=1e-9
+        )
+
+
+class TestConvolutionEngineProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        offset=st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_input_shift_equivariance(self, seed, offset):
+        """conv(x + c, k) == conv(x, k) + c * sum(k) per kernel — the
+        photonic affine encoding must preserve this identity."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 6, 6))
+        k = rng.normal(size=(2, 1, 3, 3))
+        engine = PhotonicConvolution()
+        base = engine.convolve(x, k)
+        shifted = engine.convolve(x + offset, k)
+        kernel_sums = k.reshape(2, -1).sum(axis=1)
+        expected = base + offset * kernel_sums[:, None, None]
+        assert np.allclose(shifted, expected, atol=1e-8)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_negation(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 5, 5))
+        k = rng.normal(size=(3, 2, 2, 2))
+        engine = PhotonicConvolution()
+        assert np.allclose(
+            engine.convolve(x, -k), -engine.convolve(x, k), atol=1e-9
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_unit_kernel_recovers_input(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 5, 5))
+        k = np.ones((1, 1, 1, 1))
+        out = PhotonicConvolution().convolve(x, k)
+        assert np.allclose(out, x, atol=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for sparsity-aware ring allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pruning import (
+    prune_kernels,
+    pruned_conv_error,
+    sparse_mapping_report,
+    threshold_for_sparsity,
+)
+
+
+class TestPruneKernels:
+    def test_zero_threshold_keeps_everything(self):
+        rng = np.random.default_rng(0)
+        kernels = rng.normal(size=(4, 2, 3, 3))
+        pruned, mask = prune_kernels(kernels, 0.0)
+        assert np.array_equal(pruned, kernels)
+        assert mask.all()
+
+    def test_huge_threshold_prunes_everything(self):
+        rng = np.random.default_rng(1)
+        kernels = rng.normal(size=(2, 2, 3, 3))
+        pruned, mask = prune_kernels(kernels, 1e9)
+        assert not mask.any()
+        assert np.all(pruned == 0.0)
+
+    def test_threshold_boundary_inclusive(self):
+        kernels = np.array([0.5, -0.5, 0.49])
+        _, mask = prune_kernels(kernels, 0.5)
+        assert mask.tolist() == [True, True, False]
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            prune_kernels(np.ones(3), -0.1)
+
+
+class TestSparseMappingReport:
+    def test_counts_consistent(self):
+        rng = np.random.default_rng(2)
+        kernels = rng.normal(size=(8, 4, 3, 3))
+        report = sparse_mapping_report(kernels, 0.5)
+        assert report.total_weights == kernels.size
+        assert report.active_rings + report.pruned_rings == report.total_weights
+        assert 0.0 <= report.sparsity <= 1.0
+
+    def test_energy_retained_decreases_with_threshold(self):
+        rng = np.random.default_rng(3)
+        kernels = rng.normal(size=(4, 4, 3, 3))
+        low = sparse_mapping_report(kernels, 0.1)
+        high = sparse_mapping_report(kernels, 1.0)
+        assert high.energy_retained < low.energy_retained
+
+    def test_savings_scale_with_pruned_rings(self):
+        rng = np.random.default_rng(4)
+        kernels = rng.normal(size=(4, 4, 3, 3))
+        report = sparse_mapping_report(kernels, 0.7)
+        assert report.rings_area_saved_mm2 == pytest.approx(
+            report.pruned_rings * 625e-12 * 1e6
+        )
+        assert report.tuning_power_saved_w == pytest.approx(
+            report.pruned_rings * 1e-3
+        )
+
+    def test_zero_tensor_retains_all_energy(self):
+        report = sparse_mapping_report(np.zeros((2, 2, 3, 3)), 0.5)
+        assert report.energy_retained == 1.0
+
+
+class TestThresholdForSparsity:
+    @given(sparsity=st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_achieves_requested_sparsity(self, sparsity):
+        rng = np.random.default_rng(5)
+        kernels = rng.normal(size=2000)
+        threshold = threshold_for_sparsity(kernels, sparsity)
+        report = sparse_mapping_report(kernels, threshold)
+        assert report.sparsity == pytest.approx(sparsity, abs=0.02)
+
+    def test_zero_sparsity_zero_threshold(self):
+        assert threshold_for_sparsity(np.ones(10), 0.0) == 0.0
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            threshold_for_sparsity(np.ones(4), 1.0)
+        with pytest.raises(ValueError):
+            threshold_for_sparsity(np.ones(4), -0.1)
+
+
+class TestPrunedConvError:
+    def test_zero_threshold_zero_error(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 8, 8))
+        k = rng.normal(size=(3, 2, 3, 3))
+        assert pruned_conv_error(x, k, 0.0) == 0.0
+
+    def test_error_grows_with_threshold(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 8, 8))
+        k = rng.normal(size=(3, 2, 3, 3))
+        assert pruned_conv_error(x, k, 0.1) < pruned_conv_error(x, k, 1.0)
+
+    def test_mild_pruning_mild_error(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(2, 8, 8))
+        k = rng.normal(size=(3, 2, 3, 3))
+        threshold = threshold_for_sparsity(k, 0.2)
+        assert pruned_conv_error(x, k, threshold) < 0.2

@@ -1,0 +1,91 @@
+"""Tests for fixed-point tensor quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import build_lenet5
+from repro.nn.quantize import (
+    quantization_error,
+    quantize_network_weights,
+    quantize_tensor,
+)
+
+
+class TestQuantizeTensor:
+    def test_zero_exact(self):
+        quantized = quantize_tensor(np.zeros(10), bits=8)
+        assert np.all(quantized.codes == 0)
+        assert np.allclose(quantized.dequantize(), 0.0)
+
+    def test_peak_maps_to_top_code(self):
+        values = np.array([-2.0, 0.5, 2.0])
+        quantized = quantize_tensor(values, bits=8)
+        assert quantized.codes.max() == quantized.max_code
+
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        quantized = quantize_tensor(values, bits=12)
+        error = np.abs(quantized.dequantize() - values)
+        assert np.max(error) <= quantized.scale / 2 + 1e-12
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(4), bits=1)
+
+    @given(
+        values=arrays(
+            float,
+            32,
+            elements=st.floats(
+                min_value=-100.0, max_value=100.0, width=64,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        bits=st.integers(min_value=4, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_within_half_step(self, values, bits):
+        quantized = quantize_tensor(values, bits)
+        error = np.abs(quantized.dequantize() - values)
+        assert np.max(error) <= quantized.scale / 2 + 1e-9
+
+    def test_symmetric_negation(self):
+        values = np.array([-1.0, -0.5, 0.5, 1.0])
+        positive = quantize_tensor(values, bits=8).dequantize()
+        negative = quantize_tensor(-values, bits=8).dequantize()
+        assert np.allclose(positive, -negative)
+
+
+class TestQuantizationError:
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=500)
+        assert quantization_error(values, 16) < quantization_error(values, 8)
+
+    def test_sixteen_bits_tiny(self):
+        rng = np.random.default_rng(2)
+        assert quantization_error(rng.normal(size=500), 16) < 1e-4
+
+    def test_zero_tensor(self):
+        assert quantization_error(np.zeros(8)) == 0.0
+
+
+class TestQuantizeNetwork:
+    def test_network_still_runs_and_agrees(self):
+        net = build_lenet5(seed=3)
+        x = np.random.default_rng(3).normal(size=(1, 32, 32))
+        reference = net.forward(x)
+        worst = quantize_network_weights(net, bits=16)
+        quantized_out = net.forward(x)
+        assert worst < 1e-4
+        assert np.allclose(quantized_out, reference, atol=1e-3)
+        assert int(np.argmax(quantized_out)) == int(np.argmax(reference))
+
+    def test_aggressive_quantization_measurable(self):
+        net = build_lenet5(seed=4)
+        worst = quantize_network_weights(net, bits=4)
+        assert worst > 1e-3

@@ -1,0 +1,125 @@
+"""Tests for ConvLayerSpec and the paper's shape equations (Table I)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.shapes import ConvLayerSpec, conv_output_side
+from repro.workloads import alexnet_layer
+
+
+class TestValidation:
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=0, m=1, nc=1, num_kernels=1)
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=8, m=0, nc=1, num_kernels=1)
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=8, m=3, nc=0, num_kernels=1)
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=8, m=3, nc=1, num_kernels=0)
+
+    def test_rejects_bad_stride_padding(self):
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=8, m=3, nc=1, num_kernels=1, s=0)
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=8, m=3, nc=1, num_kernels=1, p=-1)
+
+    def test_rejects_kernel_larger_than_padded_input(self):
+        with pytest.raises(ValueError):
+            ConvLayerSpec("bad", n=4, m=7, nc=1, num_kernels=1, p=1)
+
+    def test_kernel_exactly_fits(self):
+        spec = ConvLayerSpec("edge", n=4, m=6, nc=1, num_kernels=1, p=1)
+        assert spec.output_side == 1
+
+
+class TestPaperEquations:
+    def test_eq1_ninput_conv1(self):
+        # Paper: conv1 input 224 x 224 x 3 = 150 528.
+        assert alexnet_layer("conv1").n_input == 150_528
+
+    def test_eq2_nkernel_conv1(self):
+        # Paper: 11 x 11 x 3 = 363.
+        assert alexnet_layer("conv1").n_kernel == 363
+
+    def test_eq2_nkernel_conv4(self):
+        # Paper: conv4 "3456 microrings" = 3 x 3 x 384.
+        assert alexnet_layer("conv4").n_kernel == 3456
+
+    def test_eq3_output(self):
+        spec = ConvLayerSpec("t", n=16, m=3, nc=1, num_kernels=5)
+        assert spec.output_side == 14
+        assert spec.n_output == 14 * 14 * 5
+
+    def test_eq6_nlocs_is_output_over_k(self):
+        spec = alexnet_layer("conv2")
+        assert spec.n_locs == spec.n_output // spec.num_kernels
+
+    def test_alexnet_nlocs(self):
+        assert alexnet_layer("conv1").n_locs == 55 * 55
+        assert alexnet_layer("conv2").n_locs == 27 * 27
+        assert alexnet_layer("conv4").n_locs == 13 * 13
+
+    def test_stride_update_values_eq8_numerator(self):
+        # Paper eq. 8: conv4 updates nc * m * s = 384 * 3 * 1 = 1152.
+        assert alexnet_layer("conv4").stride_update_values == 1152
+
+    def test_macs(self):
+        spec = ConvLayerSpec("t", n=8, m=3, nc=2, num_kernels=4)
+        assert spec.macs == spec.n_locs * 18 * 4
+
+    def test_total_weights(self):
+        assert alexnet_layer("conv1").total_weights == 96 * 363
+
+    def test_describe_mentions_name(self):
+        assert "conv3" in alexnet_layer("conv3").describe()
+
+
+class TestConvOutputSide:
+    def test_basic(self):
+        assert conv_output_side(224, 11, 2, 4) == 55
+
+    def test_unit_kernel(self):
+        assert conv_output_side(10, 1, 0, 1) == 10
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            conv_output_side(4, 7, 0, 1)
+        with pytest.raises(ValueError):
+            conv_output_side(0, 1, 0, 1)
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        m=st.integers(min_value=1, max_value=11),
+        p=st.integers(min_value=0, max_value=5),
+        s=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_output_side_positive_when_valid(self, n, m, p, s):
+        if m > n + 2 * p:
+            return
+        side = conv_output_side(n, m, p, s)
+        assert side >= 1
+        # The last window must fit inside the padded input.
+        assert (side - 1) * s + m <= n + 2 * p
+
+    @given(
+        n=st.integers(min_value=3, max_value=64),
+        m=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stride_one_no_padding(self, n, m):
+        assert conv_output_side(n, m, 0, 1) == n - m + 1
+
+
+class TestOutputSpecChaining:
+    def test_output_spec_propagates_geometry(self):
+        spec = alexnet_layer("conv3")
+        follower = spec.output_spec("next")
+        assert follower.n == spec.output_side
+        assert follower.nc == spec.num_kernels
+        assert follower.name == "next"
+
+    def test_default_name(self):
+        assert alexnet_layer("conv1").output_spec().name == "conv1-next"

@@ -1,0 +1,100 @@
+"""Tests for bank spectrum sweeps and result export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import results_to_json, series_to_csv, write_text
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.noise import ideal
+from repro.photonics.spectrum import channel_isolation_db, sweep_bank_spectrum
+from repro.photonics.wdm import WdmGrid
+from repro.photonics.weight_bank import WeightBank
+
+
+def make_bank(num_rings=4, **design_kwargs) -> WeightBank:
+    return WeightBank(
+        WdmGrid(num_rings), MicroringDesign(**design_kwargs), ideal()
+    )
+
+
+class TestSpectrum:
+    def test_energy_conservation(self):
+        bank = make_bank()
+        bank.set_weights(np.array([1.0, 0.5, -0.5, 0.0]))
+        spectrum = sweep_bank_spectrum(bank)
+        total = spectrum.drop + spectrum.through
+        assert np.all(total <= 1.0 + 1e-9)
+        assert np.all(spectrum.drop >= -1e-12)
+        assert np.all(spectrum.through >= -1e-12)
+
+    def test_drop_peaks_near_channels(self):
+        bank = make_bank()
+        bank.set_weights(np.ones(4))
+        spectrum = sweep_bank_spectrum(bank, num_points=4001)
+        for channel in range(4):
+            frequency = bank.grid.frequency_of(channel)
+            index = int(np.argmin(np.abs(spectrum.frequencies_hz - frequency)))
+            assert spectrum.drop[index] > 0.9
+
+    def test_through_high_between_channels(self):
+        bank = make_bank(quality_factor=50_000)
+        bank.set_weights(np.ones(4))
+        spectrum = sweep_bank_spectrum(bank, num_points=4001)
+        # Midpoint between channels 0 and 1.
+        mid = (bank.grid.frequency_of(0) + bank.grid.frequency_of(1)) / 2
+        index = int(np.argmin(np.abs(spectrum.frequencies_hz - mid)))
+        assert spectrum.through[index] > 0.9
+
+    def test_sweep_rejects_bad_parameters(self):
+        bank = make_bank()
+        with pytest.raises(ValueError):
+            sweep_bank_spectrum(bank, span_factor=0.0)
+        with pytest.raises(ValueError):
+            sweep_bank_spectrum(bank, num_points=1)
+
+    def test_isolation_improves_with_q(self):
+        low = channel_isolation_db(make_bank(quality_factor=4_000))
+        high = channel_isolation_db(make_bank(quality_factor=40_000))
+        assert high > low
+        assert low > 0.0
+
+    def test_isolation_single_ring_infinite(self):
+        assert channel_isolation_db(make_bank(num_rings=1)) == float("inf")
+
+
+class TestExport:
+    def test_csv_roundtrip(self):
+        csv_text = series_to_csv(
+            {"a": [1.0, 2.0], "b": [3.0, 4.0]}, ["x", "y"]
+        )
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "layer,a,b"
+        assert lines[1].startswith("x,")
+        assert len(lines) == 3
+
+    def test_csv_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"a": [1.0]}, ["x", "y"])
+
+    def test_json_dataclasses(self):
+        from repro.core.analytical import analyze_layer
+        from repro.workloads import alexnet_layer
+
+        analysis = analyze_layer(alexnet_layer("conv4"))
+        decoded = json.loads(results_to_json([analysis]))
+        assert decoded[0]["rings_per_bank"] == 3456
+        assert decoded[0]["spec"]["name"] == "conv4"
+
+    def test_json_plain_dicts(self):
+        decoded = json.loads(results_to_json([{"k": 1, "v": [1, 2]}]))
+        assert decoded[0]["v"] == [1, 2]
+
+    def test_json_numpy_scalars(self):
+        decoded = json.loads(results_to_json([{"x": np.float64(1.5)}]))
+        assert decoded[0]["x"] == 1.5
+
+    def test_write_text(self, tmp_path):
+        target = write_text(tmp_path / "sub" / "out.csv", "hello")
+        assert target.read_text() == "hello"

@@ -1,0 +1,90 @@
+"""Tests for the functional-equivalence validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PCNNAConfig
+from repro.core.validation import (
+    assert_functionally_equivalent,
+    compare_photonic_reference,
+)
+from repro.photonics.noise import NoiseConfig
+
+
+def random_case(seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, 6, 6))
+    k = rng.normal(size=(3, 2, 3, 3))
+    return x, k
+
+
+class TestCompare:
+    def test_ideal_errors_negligible(self):
+        x, k = random_case()
+        report = compare_photonic_reference(x, k)
+        assert report.max_abs_error < 1e-10
+        assert report.max_rel_error < 1e-10
+        assert report.rms_error < 1e-10
+
+    def test_report_scale_positive(self):
+        x, k = random_case(1)
+        assert compare_photonic_reference(x, k).reference_scale > 0
+
+    def test_within_tolerance_predicate(self):
+        x, k = random_case(2)
+        report = compare_photonic_reference(x, k)
+        assert report.within(1e-9)
+        assert not report.within(0.0)
+
+    def test_quantization_errors_measurable(self):
+        x, k = random_case(3)
+        report = compare_photonic_reference(x, k, quantize=True)
+        assert 0 < report.max_rel_error < 1e-2
+
+    def test_noise_errors_grow_with_sigma(self):
+        x, k = random_case(4)
+
+        def error(sigma):
+            config = PCNNAConfig(
+                noise=NoiseConfig(enabled=True, ring_tuning_sigma=sigma, seed=5)
+            )
+            return compare_photonic_reference(x, k, config=config).max_rel_error
+
+        assert error(0.001) < error(0.05)
+
+    def test_zero_reference_handled(self):
+        x = np.zeros((1, 4, 4))
+        k = np.zeros((1, 1, 2, 2))
+        report = compare_photonic_reference(x, k)
+        assert report.reference_scale == 1.0
+        assert report.max_abs_error == 0.0
+
+    def test_stride_padding_paths(self):
+        x, k = random_case(6)
+        report = compare_photonic_reference(x, k, stride=2, padding=1)
+        assert report.max_rel_error < 1e-9
+
+
+class TestAssert:
+    def test_passes_in_ideal_mode(self):
+        x, k = random_case(7)
+        report = assert_functionally_equivalent(x, k)
+        assert report.max_rel_error < 1e-9
+
+    def test_raises_when_noisy(self):
+        x, k = random_case(8)
+        config = PCNNAConfig(
+            noise=NoiseConfig(enabled=True, ring_tuning_sigma=0.1, seed=9)
+        )
+        with pytest.raises(AssertionError):
+            assert_functionally_equivalent(x, k, config=config)
+
+    def test_loose_tolerance_accepts_noise(self):
+        x, k = random_case(10)
+        config = PCNNAConfig(
+            noise=NoiseConfig(enabled=True, ring_tuning_sigma=0.001, seed=11)
+        )
+        report = assert_functionally_equivalent(
+            x, k, config=config, rel_tolerance=0.5
+        )
+        assert report.max_rel_error < 0.5

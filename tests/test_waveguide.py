@@ -1,0 +1,80 @@
+"""Tests for waveguide, splitter and cascade loss models."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.waveguide import Splitter, Waveguide, cascade_transmission
+
+
+class TestWaveguide:
+    def test_zero_length_is_lossless(self):
+        assert Waveguide(length_m=0.0).transmission == pytest.approx(1.0)
+
+    def test_loss_db_accumulates_with_length(self):
+        wg = Waveguide(length_m=0.01, loss_db_per_cm=2.0)  # 1 cm.
+        assert wg.loss_db == pytest.approx(2.0)
+
+    def test_transmission_from_db(self):
+        wg = Waveguide(length_m=0.05, loss_db_per_cm=2.0)  # 10 dB total.
+        assert wg.transmission == pytest.approx(0.1)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Waveguide(length_m=-1.0)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            Waveguide(length_m=1.0, loss_db_per_cm=-0.1)
+
+    def test_propagate_scales_vector(self):
+        wg = Waveguide(length_m=0.05, loss_db_per_cm=2.0)
+        powers = np.array([1.0, 2.0, 0.0])
+        assert np.allclose(wg.propagate(powers), powers * 0.1)
+
+    def test_transmission_bounded(self):
+        wg = Waveguide(length_m=10.0, loss_db_per_cm=3.0)
+        assert 0.0 < wg.transmission < 1.0
+
+
+class TestSplitter:
+    def test_ideal_split_conserves_power(self):
+        splitter = Splitter(num_outputs=4)
+        powers = np.array([1.0, 2.0])
+        branches = splitter.split(powers)
+        assert len(branches) == 4
+        total = sum(branch.sum() for branch in branches)
+        assert total == pytest.approx(powers.sum())
+
+    def test_per_output_share(self):
+        assert Splitter(5).per_output_transmission == pytest.approx(0.2)
+
+    def test_excess_loss_reduces_share(self):
+        lossy = Splitter(2, excess_loss_db=3.0)
+        assert lossy.per_output_transmission == pytest.approx(0.25, rel=2e-2)
+
+    def test_rejects_nonpositive_outputs(self):
+        with pytest.raises(ValueError):
+            Splitter(0)
+
+    def test_rejects_negative_excess_loss(self):
+        with pytest.raises(ValueError):
+            Splitter(2, excess_loss_db=-1.0)
+
+    def test_single_output_passthrough(self):
+        splitter = Splitter(1)
+        powers = np.array([0.7])
+        assert np.allclose(splitter.split(powers)[0], powers)
+
+
+class TestCascade:
+    def test_multiplies(self):
+        assert cascade_transmission(0.5, 0.5, 0.8) == pytest.approx(0.2)
+
+    def test_empty_cascade_is_unity(self):
+        assert cascade_transmission() == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            cascade_transmission(0.5, 1.2)
+        with pytest.raises(ValueError):
+            cascade_transmission(-0.1)

@@ -1,0 +1,89 @@
+"""Tests for the WDM channel grid."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.wdm import WdmGrid, channel_count_limit
+
+
+class TestWdmGrid:
+    def test_single_channel_sits_at_center(self):
+        grid = WdmGrid(num_channels=1, center_frequency_hz=193e12)
+        assert grid.frequencies_hz[0] == pytest.approx(193e12)
+
+    def test_rejects_nonpositive_channels(self):
+        with pytest.raises(ValueError):
+            WdmGrid(num_channels=0)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            WdmGrid(num_channels=4, spacing_hz=0.0)
+
+    def test_rejects_nonpositive_center(self):
+        with pytest.raises(ValueError):
+            WdmGrid(num_channels=4, center_frequency_hz=-1.0)
+
+    def test_frequencies_ascending_and_uniform(self):
+        grid = WdmGrid(num_channels=8, spacing_hz=100e9)
+        diffs = np.diff(grid.frequencies_hz)
+        assert np.allclose(diffs, 100e9)
+
+    def test_grid_centered(self):
+        grid = WdmGrid(num_channels=5, center_frequency_hz=193e12)
+        assert grid.frequencies_hz.mean() == pytest.approx(193e12)
+
+    def test_even_channel_count_centered(self):
+        grid = WdmGrid(num_channels=4, center_frequency_hz=193e12)
+        assert grid.frequencies_hz.mean() == pytest.approx(193e12)
+
+    def test_span(self):
+        grid = WdmGrid(num_channels=11, spacing_hz=50e9)
+        assert grid.span_hz == pytest.approx(10 * 50e9)
+
+    def test_wavelengths_descend_as_frequencies_ascend(self):
+        grid = WdmGrid(num_channels=6)
+        assert np.all(np.diff(grid.wavelengths_m) < 0)
+
+    def test_frequency_of_matches_array(self):
+        grid = WdmGrid(num_channels=7)
+        for channel in range(7):
+            assert grid.frequency_of(channel) == pytest.approx(
+                grid.frequencies_hz[channel]
+            )
+
+    def test_frequency_of_rejects_out_of_range(self):
+        grid = WdmGrid(num_channels=3)
+        with pytest.raises(IndexError):
+            grid.frequency_of(3)
+        with pytest.raises(IndexError):
+            grid.frequency_of(-1)
+
+    def test_fits_within_fsr(self):
+        grid = WdmGrid(num_channels=10, spacing_hz=100e9)
+        assert grid.fits_within_fsr(1e12)
+        assert not grid.fits_within_fsr(900e9)
+
+
+class TestChannelCountLimit:
+    def test_matches_grid_fit(self):
+        fsr = MicroringDesign().free_spectral_range_hz()
+        limit = channel_count_limit(fsr, spacing_hz=100e9)
+        assert WdmGrid(limit, spacing_hz=100e9).fits_within_fsr(fsr)
+        assert not WdmGrid(limit + 1, spacing_hz=100e9).fits_within_fsr(fsr)
+
+    def test_tiny_fsr_still_allows_one_channel(self):
+        assert channel_count_limit(1.0, spacing_hz=100e9) >= 1
+
+    def test_rejects_nonpositive_fsr(self):
+        with pytest.raises(ValueError):
+            channel_count_limit(0.0)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            channel_count_limit(1e12, spacing_hz=-1.0)
+
+    def test_scales_with_fsr(self):
+        small = channel_count_limit(1e12, spacing_hz=100e9)
+        large = channel_count_limit(2e12, spacing_hz=100e9)
+        assert large > small

@@ -1,0 +1,153 @@
+"""Tests for the MRR weight bank."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.photonics.microring import MicroringDesign
+from repro.photonics.noise import NoiseConfig, ideal
+from repro.photonics.wdm import WdmGrid
+from repro.photonics.weight_bank import WeightBank
+
+
+def make_bank(num_rings=8, noise=None, **design_kwargs) -> WeightBank:
+    return WeightBank(
+        WdmGrid(num_rings),
+        MicroringDesign(**design_kwargs),
+        noise if noise is not None else ideal(),
+    )
+
+
+class TestConfiguration:
+    def test_one_ring_per_channel(self):
+        bank = make_bank(12)
+        assert bank.num_rings == 12
+        assert len(bank.rings) == 12
+
+    def test_set_weights_shape_check(self):
+        bank = make_bank(4)
+        with pytest.raises(ValueError):
+            bank.set_weights(np.zeros(5))
+
+    def test_set_weights_range_check(self):
+        bank = make_bank(3)
+        with pytest.raises(ValueError):
+            bank.set_weights(np.array([0.0, 1.5, 0.0]))
+
+    def test_weights_property_returns_copy(self):
+        bank = make_bank(3)
+        weights = np.array([0.1, -0.2, 0.3])
+        bank.set_weights(weights)
+        returned = bank.weights
+        returned[0] = 99.0
+        assert bank.weights[0] == pytest.approx(0.1)
+
+    def test_extreme_weights_accepted(self):
+        bank = make_bank(2)
+        bank.set_weights(np.array([-1.0, 1.0]))
+        effective = bank.effective_weights()
+        assert effective[0] == pytest.approx(-1.0)
+        assert effective[1] == pytest.approx(1.0)
+
+
+class TestIdealTransfer:
+    @given(
+        weights=arrays(
+            float,
+            6,
+            elements=st.floats(min_value=-1.0, max_value=1.0, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_effective_weights_match_programmed(self, weights):
+        bank = make_bank(6)
+        bank.set_weights(weights)
+        assert np.allclose(bank.effective_weights(), weights, atol=1e-12)
+
+    def test_transmission_fractions_bounded(self):
+        bank = make_bank(5)
+        bank.set_weights(np.linspace(-1, 1, 5))
+        drop, through = bank.transmission_matrix()
+        assert np.all(drop >= 0) and np.all(drop <= 1)
+        assert np.all(through >= 0) and np.all(through <= 1)
+        assert np.all(drop + through <= 1.0 + 1e-12)
+
+    def test_apply_weights_power(self):
+        bank = make_bank(4)
+        bank.set_weights(np.array([1.0, 0.0, -1.0, 0.5]))
+        powers = np.full(4, 2e-3)
+        drop, through = bank.apply(powers)
+        # weight 1 -> all power dropped; weight -1 -> all passed through.
+        assert drop[0] == pytest.approx(2e-3)
+        assert through[0] == pytest.approx(0.0, abs=1e-12)
+        assert drop[2] == pytest.approx(0.0, abs=1e-12)
+        assert through[2] == pytest.approx(2e-3)
+        # weight 0 -> split evenly.
+        assert drop[1] == pytest.approx(1e-3)
+
+    def test_apply_shape_check(self):
+        bank = make_bank(4)
+        bank.set_weights(np.zeros(4))
+        with pytest.raises(ValueError):
+            bank.apply(np.zeros(3))
+
+    def test_apply_rejects_negative_power(self):
+        bank = make_bank(2)
+        bank.set_weights(np.zeros(2))
+        with pytest.raises(ValueError):
+            bank.apply(np.array([1e-3, -1e-3]))
+
+
+class TestNonIdealTransfer:
+    def test_tuning_error_perturbs_weights(self):
+        noise = NoiseConfig(enabled=True, ring_tuning_sigma=0.01, seed=1)
+        bank = make_bank(16, noise=noise)
+        target = np.zeros(16)
+        bank.set_weights(target)
+        effective = bank.effective_weights()
+        assert not np.allclose(effective, target)
+        assert np.max(np.abs(effective - target)) < 0.1
+
+    def test_crosstalk_perturbs_neighbours(self):
+        noise = NoiseConfig(enabled=True, shot_noise=False, thermal_noise=False,
+                            crosstalk=True, seed=0)
+        bank = make_bank(8, noise=noise, quality_factor=5_000)
+        weights = np.zeros(8)
+        weights[3] = 1.0
+        bank.set_weights(weights)
+        effective = bank.effective_weights()
+        # The tuned ring's neighbours see some leakage.
+        assert effective[2] != pytest.approx(0.0, abs=1e-6)
+
+    def test_crosstalk_shrinks_with_quality_factor(self):
+        def worst_error(q):
+            noise = NoiseConfig(enabled=True, shot_noise=False,
+                                thermal_noise=False, crosstalk=True, seed=0)
+            bank = make_bank(8, noise=noise, quality_factor=q)
+            weights = np.full(8, 0.5)
+            bank.set_weights(weights)
+            return float(np.max(np.abs(bank.effective_weights() - weights)))
+
+        assert worst_error(50_000) < worst_error(5_000)
+
+    def test_crosstalk_conserves_energy(self):
+        noise = NoiseConfig(enabled=True, shot_noise=False, thermal_noise=False,
+                            crosstalk=True, seed=0)
+        bank = make_bank(6, noise=noise)
+        bank.set_weights(np.linspace(-0.9, 0.9, 6))
+        drop, through = bank.transmission_matrix()
+        assert np.all(drop + through <= 1.0 + 1e-9)
+        assert np.all(drop >= -1e-12)
+        assert np.all(through >= -1e-12)
+
+    def test_tuning_error_reproducible(self):
+        def effective(seed):
+            noise = NoiseConfig(enabled=True, ring_tuning_sigma=0.02, seed=seed)
+            bank = make_bank(8, noise=noise)
+            bank.set_weights(np.zeros(8))
+            return bank.effective_weights()
+
+        assert np.array_equal(effective(9), effective(9))
+        assert not np.array_equal(effective(9), effective(10))
