@@ -1,4 +1,43 @@
-"""Setup shim for environments without PEP 517 wheel support."""
-from setuptools import setup
+"""Package metadata for the PCNNA reproduction.
 
-setup()
+Installs the ``repro`` package from ``src/`` so examples, tests, and
+benchmarks run without ``PYTHONPATH=src``:
+
+    pip install -e .
+"""
+
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+readme = Path(__file__).parent / "README.md"
+
+setup(
+    name="pcnna-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of PCNNA: A Photonic Convolutional Neural Network "
+        "Accelerator (Mehrabian et al., SOCC 2018), with a vectorized "
+        "batched photonic execution engine"
+    ),
+    long_description=readme.read_text(encoding="utf-8") if readme.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

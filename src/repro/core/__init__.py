@@ -35,6 +35,7 @@ from repro.core.batching import (
     BatchTiming,
     layer_batch_time_s,
     network_batch_timing,
+    network_batch_timing_simulated,
     weight_stationary_crossover,
 )
 from repro.core.config import PAPER_CONFIG, PCNNAConfig, paper_assumptions
@@ -77,9 +78,11 @@ from repro.core.pruning import (
 )
 from repro.core.scheduler import LayerSchedule, LocationStep, dram_traffic_bytes
 from repro.core.timing import (
+    BatchLayerTimingResult,
     LayerTimingResult,
     StageBreakdown,
     simulate_layer,
+    simulate_layer_batch,
     simulate_network,
 )
 from repro.core.validation import (
@@ -115,6 +118,7 @@ __all__ = [
     "BatchTiming",
     "layer_batch_time_s",
     "network_batch_timing",
+    "network_batch_timing_simulated",
     "weight_stationary_crossover",
     "PAPER_CONFIG",
     "PCNNAConfig",
@@ -147,9 +151,11 @@ __all__ = [
     "LayerSchedule",
     "LocationStep",
     "dram_traffic_bytes",
+    "BatchLayerTimingResult",
     "LayerTimingResult",
     "StageBreakdown",
     "simulate_layer",
+    "simulate_layer_batch",
     "simulate_network",
     "EquivalenceReport",
     "assert_functionally_equivalent",

@@ -1,16 +1,31 @@
 """The PCNNA accelerator facade: functional photonic convolution.
 
 :class:`PhotonicConvolution` executes a *real* convolution through the
-photonic substrate, location by location, exactly as the architecture
-does (paper section IV):
+photonic substrate, exactly as the architecture does (paper section IV):
 
 1. the kernel weights are scaled into [-1, 1] and programmed onto the K
    weight banks once per layer;
-2. for every kernel location, the receptive field is scaled into [0, 1],
+2. every kernel location's receptive field is scaled into [0, 1],
    DAC-quantized, encoded onto WDM wavelengths by the MZMs, broadcast to
    all K banks, and balanced-detected — producing all K outputs in one
    MAC wave;
 3. outputs are ADC-quantized and rescaled back to the original ranges.
+
+Two device execution engines implement step 2:
+
+* ``mode="vectorized"`` (the default) — the whole im2col matrix, i.e.
+  every kernel location of every image in the (optional) batch, is
+  pushed through the substrate as one ``(waves, channels)`` stack via
+  :meth:`~repro.photonics.broadcast_weight.BroadcastAndWeightLayer.compute_batch`
+  — a handful of array operations per weight bank;
+* ``mode="reference"`` — the original wave-by-wave Python loop, retained
+  as the transparently-correct reference.  In ideal mode the two are
+  bit-equal (asserted by ``tests/test_batched_engine.py``).
+
+``convolve`` accepts a single ``(C, H, W)`` feature map or a batched
+``(B, C, H, W)`` stack; batching programs the weight banks once and
+streams every image through them, mirroring the weight-stationary
+amortization of :mod:`repro.core.batching`.
 
 Signed inputs are handled with an affine encoding: the optical core
 computes ``dot(w, x')`` for the shifted/normalized ``x'`` and the digital
@@ -31,7 +46,7 @@ import numpy as np
 from repro.core.analytical import LayerAnalysis, analyze_layer
 from repro.core.config import PCNNAConfig
 from repro.core.timing import LayerTimingResult, simulate_layer
-from repro.nn.im2col import im2col
+from repro.nn.im2col import fold_batch_outputs, im2col_batch
 from repro.nn.network import Network
 from repro.nn.shapes import ConvLayerSpec, conv_output_side
 from repro.photonics.broadcast_weight import BroadcastAndWeightLayer
@@ -112,6 +127,11 @@ class PhotonicConvolution:
             the test suite); ``"auto"`` picks ``"matrix"`` when the
             configuration is ideal and quantization is disabled.
         quantize: apply DAC/ADC quantization to inputs/outputs.
+        mode: device-simulation execution engine — ``"vectorized"`` (the
+            default) pushes the whole im2col wave stack through the
+            substrate in batched array operations; ``"reference"`` runs
+            the retained wave-by-wave loop.  Ignored by the ``"matrix"``
+            closed form.
     """
 
     def __init__(
@@ -119,14 +139,20 @@ class PhotonicConvolution:
         config: PCNNAConfig | None = None,
         method: str = "auto",
         quantize: bool = False,
+        mode: str = "vectorized",
     ) -> None:
         if method not in ("auto", "device", "matrix"):
             raise ValueError(
                 f"method must be 'auto', 'device' or 'matrix', got {method!r}"
             )
+        if mode not in ("vectorized", "reference"):
+            raise ValueError(
+                f"mode must be 'vectorized' or 'reference', got {mode!r}"
+            )
         self.config = config if config is not None else PCNNAConfig()
         self.method = method
         self.quantize = quantize
+        self.mode = mode
 
     def _resolved_method(self) -> str:
         """The concrete execution method for the current configuration."""
@@ -146,25 +172,31 @@ class PhotonicConvolution:
         """Convolve ``feature_map`` with ``kernels`` on the optical core.
 
         Args:
-            feature_map: input of shape ``(C, H, W)``.
+            feature_map: input of shape ``(C, H, W)``, or a minibatch of
+                shape ``(B, C, H, W)`` — batching programs the weight
+                banks once and streams every image through them.
             kernels: weights of shape ``(K, C, m, m)``.
             stride: spatial stride.
             padding: zero padding.
 
         Returns:
-            Output of shape ``(K, out_side, out_side)`` — the photonic
-            estimate of the convolution (exact in ideal mode).
+            Output of shape ``(K, out_h, out_w)`` for a single input, or
+            ``(B, K, out_h, out_w)`` for a batch — the photonic estimate
+            of the convolution (exact in ideal mode).
 
         Raises:
             ValueError: on shape mismatches.
         """
         feature_map = np.asarray(feature_map, dtype=float)
         kernels = np.asarray(kernels, dtype=float)
-        if feature_map.ndim != 3:
+        batched = feature_map.ndim == 4
+        if feature_map.ndim not in (3, 4):
             raise ValueError(
-                f"feature map must be (C, H, W), got {feature_map.shape}"
+                "feature map must be (C, H, W) or batched (B, C, H, W), "
+                f"got {feature_map.shape}"
             )
-        if kernels.ndim != 4 or kernels.shape[1] != feature_map.shape[0]:
+        stack = feature_map if batched else feature_map[None]
+        if kernels.ndim != 4 or kernels.shape[1] != stack.shape[1]:
             raise ValueError(
                 f"kernels {kernels.shape} incompatible with input "
                 f"{feature_map.shape}"
@@ -172,15 +204,18 @@ class PhotonicConvolution:
 
         num_kernels = kernels.shape[0]
         kernel_size = kernels.shape[2]
-        height = feature_map.shape[1]
-        width = feature_map.shape[2]
+        batch_size = stack.shape[0]
+        height = stack.shape[2]
+        width = stack.shape[3]
 
         # Zero padding injects literal zeros into receptive fields, so the
         # affine input range must contain 0 for the encoding to be exact.
+        # The scaling spans the whole batch: one weight programming and
+        # one encoding range serve every image, as on the real hardware.
+        columns = im2col_batch(stack, kernel_size, stride, padding)
         scaling, weight_matrix = _compute_scaling(
-            feature_map, kernels, include_zero=padding > 0
+            stack, kernels, include_zero=padding > 0
         )
-        columns = im2col(feature_map, kernel_size, stride, padding)
         normalized = (columns - scaling.input_offset) / scaling.input_scale
         normalized = np.clip(normalized, 0.0, 1.0)
 
@@ -189,8 +224,10 @@ class PhotonicConvolution:
 
         if self._resolved_method() == "matrix":
             raw = weight_matrix @ normalized
-        else:
+        elif self.mode == "reference":
             raw = self._device_matvec(normalized, weight_matrix)
+        else:
+            raw = self._device_matvec_vectorized(normalized, weight_matrix)
 
         if self.quantize:
             # The TIA's programmable gain maps the observed output range
@@ -202,27 +239,41 @@ class PhotonicConvolution:
         outputs = scaling.decode(raw)
         out_h = conv_output_side(height, kernel_size, padding, stride)
         out_w = conv_output_side(width, kernel_size, padding, stride)
-        return outputs.reshape(num_kernels, out_h, out_w)
+        result = fold_batch_outputs(outputs, batch_size, out_h, out_w)
+        return result if batched else result[0]
 
-    def _device_matvec(
-        self, normalized_columns: np.ndarray, weight_matrix: np.ndarray
-    ) -> np.ndarray:
-        """Run every receptive field through the physical device stack."""
+    def _build_layer(self, weight_matrix: np.ndarray) -> BroadcastAndWeightLayer:
+        """Instantiate and program the optical core for one conv layer."""
         num_kernels, field_size = weight_matrix.shape
-        grid = WdmGrid(num_channels=field_size)
         layer = BroadcastAndWeightLayer(
             num_inputs=field_size,
             num_outputs=num_kernels,
-            grid=grid,
+            grid=WdmGrid(num_channels=field_size),
             ring_design=self.config.ring_design,
             noise=self.config.noise,
         )
         layer.set_weight_matrix(weight_matrix)
+        return layer
+
+    def _device_matvec(
+        self, normalized_columns: np.ndarray, weight_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Reference engine: one wave at a time through the device stack."""
+        layer = self._build_layer(weight_matrix)
+        num_kernels = weight_matrix.shape[0]
         num_locations = normalized_columns.shape[1]
         raw = np.empty((num_kernels, num_locations), dtype=float)
         for location in range(num_locations):
             raw[:, location] = layer.compute(normalized_columns[:, location])
         return raw
+
+    def _device_matvec_vectorized(
+        self, normalized_columns: np.ndarray, weight_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized engine: the whole wave stack in batched array ops."""
+        layer = self._build_layer(weight_matrix)
+        waves = np.ascontiguousarray(normalized_columns.T)
+        return layer.compute_batch(waves).T
 
 
 @dataclass(frozen=True)
@@ -286,7 +337,11 @@ class PCNNA:
         stride: int = 1,
         padding: int = 0,
     ) -> np.ndarray:
-        """Functional photonic convolution (see :class:`PhotonicConvolution`)."""
+        """Functional photonic convolution (see :class:`PhotonicConvolution`).
+
+        Accepts a single ``(C, H, W)`` feature map or a batched
+        ``(B, C, H, W)`` stack.
+        """
         return self.engine.convolve(feature_map, kernels, stride, padding)
 
     def run_network(self, network: Network, inputs: np.ndarray) -> np.ndarray:
@@ -294,10 +349,33 @@ class PCNNA:
 
         Non-conv layers (pooling, activation, normalization, dense) run on
         the electronic side, mirroring the paper's system partitioning.
+
+        Args:
+            network: the CNN to execute.
+            inputs: one input matching ``network.input_shape``, or a
+                minibatch with a leading batch axis — conv layers then run
+                through the batched photonic engine (weights programmed
+                once per layer for the whole batch) and electronic layers
+                run per image.
+
+        Returns:
+            The network output, with a leading batch axis iff the input
+            had one.
+
+        Raises:
+            ValueError: if the input shape does not match the network.
         """
         from repro.nn.layers import Conv2D
 
-        if inputs.shape != network.input_shape:
+        inputs = np.asarray(inputs, dtype=float)
+        batched = inputs.ndim == len(network.input_shape) + 1
+        if batched:
+            if inputs.shape[1:] != network.input_shape:
+                raise ValueError(
+                    f"expected batched input shape (B, *{network.input_shape}),"
+                    f" got {inputs.shape}"
+                )
+        elif inputs.shape != network.input_shape:
             raise ValueError(
                 f"expected input shape {network.input_shape}, got {inputs.shape}"
             )
@@ -308,7 +386,14 @@ class PCNNA:
                     current, layer.weights, layer.stride, layer.padding
                 )
                 if layer.bias is not None:
-                    current = current + layer.bias[:, None, None]
+                    bias = (
+                        layer.bias[None, :, None, None]
+                        if batched
+                        else layer.bias[:, None, None]
+                    )
+                    current = current + bias
+            elif batched:
+                current = np.stack([layer.forward(image) for image in current])
             else:
                 current = layer.forward(current)
         return current

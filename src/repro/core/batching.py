@@ -6,8 +6,14 @@ load (hundreds of microseconds, far larger than the per-image conv time)
 amortizes over a batch.  This module quantifies that:
 
 * :func:`layer_batch_time_s` — weight load once + per-image conv time;
-* :func:`network_throughput` — images/s as a function of batch size,
-  with layer-sequential execution (the paper's virtual-layer reuse);
+* :func:`network_batch_timing` — batch timing from the paper's
+  closed-form layer times, with layer-sequential execution (the paper's
+  virtual-layer reuse);
+* :func:`network_batch_timing_simulated` — the same composition built
+  on the cycle-level simulator of :mod:`repro.core.timing` instead of
+  the closed form, matching the batched functional engine's execution
+  model (weights programmed once per layer, the whole batch streamed
+  through);
 * :func:`weight_stationary_crossover` — the batch size at which weight
   loading stops dominating.
 """
@@ -18,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.analytical import full_system_time_s, weight_load_time_s
 from repro.core.config import PCNNAConfig
+from repro.core.timing import simulate_layer
 from repro.nn.shapes import ConvLayerSpec
 
 
@@ -90,6 +97,37 @@ def network_batch_timing(
     cfg = config if config is not None else PCNNAConfig()
     weight_load = sum(weight_load_time_s(spec, cfg) for spec in specs)
     conv = batch_size * sum(full_system_time_s(spec, cfg) for spec in specs)
+    return BatchTiming(
+        batch_size=batch_size,
+        total_time_s=weight_load + conv,
+        weight_load_s=weight_load,
+        conv_time_s=conv,
+    )
+
+
+def network_batch_timing_simulated(
+    specs: list[ConvLayerSpec],
+    batch_size: int,
+    config: PCNNAConfig | None = None,
+    include_adc: bool = True,
+) -> BatchTiming:
+    """Batched network timing from the cycle-level simulator.
+
+    Identical layer-sequential weight-stationary composition as
+    :func:`network_batch_timing`, but each layer's conv and weight-load
+    times come from :func:`repro.core.timing.simulate_layer` (which
+    models DRAM refills, DAC/ADC serialization, and pipeline fill the
+    closed form ignores).
+
+    Raises:
+        ValueError: if ``batch_size`` is not positive.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size!r}")
+    cfg = config if config is not None else PCNNAConfig()
+    results = [simulate_layer(spec, cfg, include_adc) for spec in specs]
+    weight_load = sum(result.weight_load_time_s for result in results)
+    conv = batch_size * sum(result.pipelined_time_s for result in results)
     return BatchTiming(
         batch_size=batch_size,
         total_time_s=weight_load + conv,

@@ -229,6 +229,72 @@ def simulate_layer(
     )
 
 
+@dataclass(frozen=True)
+class BatchLayerTimingResult:
+    """Cycle-level timing of one layer streamed over a minibatch.
+
+    The hardware holds the layer's weights while the whole batch streams
+    through (weight-stationary execution, the premise of the batched
+    photonic engine), so the once-per-layer weight load amortizes over
+    ``batch_size`` images.
+
+    Attributes:
+        layer: the single-image simulation the batch projection is
+            built from.
+        batch_size: images streamed per weight load.
+        total_time_s: one weight load + ``batch_size`` pipelined walks.
+    """
+
+    layer: LayerTimingResult
+    batch_size: int
+    total_time_s: float
+
+    @property
+    def spec(self) -> ConvLayerSpec:
+        """The simulated layer geometry."""
+        return self.layer.spec
+
+    @property
+    def per_image_s(self) -> float:
+        """Amortized per-image layer latency (s)."""
+        return self.total_time_s / self.batch_size
+
+    @property
+    def images_per_s(self) -> float:
+        """Sustained single-layer throughput (images/s)."""
+        return self.batch_size / self.total_time_s
+
+    @property
+    def weight_load_fraction(self) -> float:
+        """Fraction of the batch time spent loading weights."""
+        return self.layer.weight_load_time_s / self.total_time_s
+
+
+def simulate_layer_batch(
+    spec: ConvLayerSpec,
+    batch_size: int,
+    config: PCNNAConfig | None = None,
+    include_adc: bool = True,
+) -> BatchLayerTimingResult:
+    """Cycle-level timing of one conv layer over a ``batch_size`` batch.
+
+    The cycle-accurate counterpart of
+    :func:`repro.core.batching.layer_batch_time_s` (which uses the
+    paper's closed-form times): one simulated weight load plus
+    ``batch_size`` simulated pipelined location walks.
+
+    Raises:
+        ValueError: if ``batch_size`` is not positive.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size!r}")
+    layer = simulate_layer(spec, config, include_adc)
+    total = layer.weight_load_time_s + batch_size * layer.pipelined_time_s
+    return BatchLayerTimingResult(
+        layer=layer, batch_size=batch_size, total_time_s=total
+    )
+
+
 def simulate_network(
     specs: list[ConvLayerSpec],
     config: PCNNAConfig | None = None,

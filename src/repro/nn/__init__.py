@@ -6,7 +6,13 @@ model builders (AlexNet with the paper's shapes, LeNet-5, VGG-16).
 """
 
 from repro.nn import functional
-from repro.nn.im2col import col2im_accumulate, im2col, receptive_field_indices
+from repro.nn.im2col import (
+    col2im_accumulate,
+    fold_batch_outputs,
+    im2col,
+    im2col_batch,
+    receptive_field_indices,
+)
 from repro.nn.layers import (
     Conv2D,
     Dense,
@@ -30,7 +36,9 @@ from repro.nn.shapes import ConvLayerSpec, conv_output_side
 __all__ = [
     "functional",
     "col2im_accumulate",
+    "fold_batch_outputs",
     "im2col",
+    "im2col_batch",
     "receptive_field_indices",
     "Conv2D",
     "Dense",

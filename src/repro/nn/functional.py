@@ -13,7 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.im2col import im2col, pad_feature_map
+from repro.nn.im2col import (
+    fold_batch_outputs,
+    im2col,
+    im2col_batch,
+    pad_feature_map,
+)
 from repro.nn.shapes import conv_output_side
 
 
@@ -56,6 +61,59 @@ def conv2d(
     out_h = conv_output_side(height, kernel_size, padding, stride)
     out_w = conv_output_side(width, kernel_size, padding, stride)
     return output.reshape(num_kernels, out_h, out_w)
+
+
+def conv2d_batch(
+    feature_maps: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched 2-D convolution: every image through one matrix multiply.
+
+    The electronic counterpart of the accelerator's batched photonic
+    engine: the im2col columns of all images are concatenated into a
+    single ``(C * m * m, B * num_locations)`` matrix and multiplied by
+    the kernel matrix once, instead of convolving image by image.
+
+    Args:
+        feature_maps: minibatch of shape ``(B, C, H, W)``.
+        kernels: weights of shape ``(K, C, m, m)`` with square kernels.
+        stride: spatial stride.
+        padding: zero padding.
+        bias: optional per-kernel bias of shape ``(K,)``.
+
+    Returns:
+        Output of shape ``(B, K, out_h, out_w)``.
+
+    Raises:
+        ValueError: on shape mismatches.
+    """
+    maps = np.asarray(feature_maps, dtype=float)
+    if maps.ndim != 4:
+        raise ValueError(
+            f"feature maps must be (B, C, H, W), got shape {maps.shape}"
+        )
+    if maps.shape[0] == 0:
+        raise ValueError("batch must contain at least one image")
+    _check_conv_shapes(maps[0], kernels)
+    num_kernels, _, kernel_size, _ = kernels.shape
+    batch_size, _, height, width = maps.shape
+
+    columns = im2col_batch(maps, kernel_size, stride, padding)
+    weight_matrix = kernels.reshape(num_kernels, -1)
+    output = weight_matrix @ columns
+    if bias is not None:
+        if bias.shape != (num_kernels,):
+            raise ValueError(
+                f"bias must have shape ({num_kernels},), got {bias.shape}"
+            )
+        output += bias[:, None]
+
+    out_h = conv_output_side(height, kernel_size, padding, stride)
+    out_w = conv_output_side(width, kernel_size, padding, stride)
+    return fold_batch_outputs(output, batch_size, out_h, out_w)
 
 
 def conv2d_direct(

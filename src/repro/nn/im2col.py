@@ -110,6 +110,53 @@ def im2col(
     return padded.reshape(-1)[indices].T
 
 
+def im2col_batch(
+    feature_maps: np.ndarray, kernel_size: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unroll the receptive fields of a whole minibatch into one matrix.
+
+    The columns are image-major: the first ``num_locations`` columns
+    belong to image 0, the next to image 1, and so on.  This ordering is
+    the contract :func:`fold_batch_outputs` inverts, and both the
+    photonic and the NumPy batched conv engines rely on it.
+
+    Args:
+        feature_maps: minibatch of shape ``(B, C, H, W)``.
+
+    Returns:
+        Array of shape ``(C * m * m, B * num_locations)``.
+
+    Raises:
+        ValueError: if the batch is not 4-D or is empty.
+    """
+    maps = np.asarray(feature_maps)
+    if maps.ndim != 4:
+        raise ValueError(
+            f"expected (batch, channels, height, width), got shape {maps.shape}"
+        )
+    if maps.shape[0] == 0:
+        raise ValueError("batch must contain at least one image")
+    return np.concatenate(
+        [im2col(image, kernel_size, stride, padding) for image in maps], axis=1
+    )
+
+
+def fold_batch_outputs(
+    output_matrix: np.ndarray, batch_size: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Fold a ``(K, B * num_locations)`` output matrix back into images.
+
+    Inverts the image-major column ordering of :func:`im2col_batch`.
+
+    Returns:
+        Tensor of shape ``(B, K, out_h, out_w)``.
+    """
+    num_kernels = output_matrix.shape[0]
+    return output_matrix.reshape(
+        num_kernels, batch_size, out_h, out_w
+    ).transpose(1, 0, 2, 3)
+
+
 def col2im_accumulate(
     columns: np.ndarray,
     input_shape: tuple[int, int, int],

@@ -18,7 +18,15 @@ from repro.photonics.calibration import (
 )
 from repro.photonics.laser import LaserBank, LaserSpec
 from repro.photonics.link_budget import LinkBudget, max_banks_for_bits
-from repro.photonics.microring import Microring, MicroringDesign, rings_area_m2
+from repro.photonics.microring import (
+    Microring,
+    MicroringDesign,
+    detunings_for_drop,
+    drop_transmission_profile,
+    lorentzian_lineshape,
+    rings_area_m2,
+    through_transmission_profile,
+)
 from repro.photonics.modulator import MachZehnderModulator, ModulatorSpec
 from repro.photonics.noise import IDEAL, NoiseConfig, ideal, realistic
 from repro.photonics.photodiode import (
@@ -57,6 +65,10 @@ __all__ = [
     "Microring",
     "MicroringDesign",
     "rings_area_m2",
+    "detunings_for_drop",
+    "drop_transmission_profile",
+    "lorentzian_lineshape",
+    "through_transmission_profile",
     "MachZehnderModulator",
     "ModulatorSpec",
     "IDEAL",

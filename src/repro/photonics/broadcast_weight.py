@@ -14,6 +14,15 @@ PCNNA paper:
 :class:`BroadcastAndWeightLayer` is K banks sharing one broadcast bus (one
 matrix-vector product, i.e. K kernels applied to one receptive field in
 parallel — exactly the PCNNA inner loop).
+
+Both expose a batched entry point (``compute_batch``) that pushes a whole
+``(waves, channels)`` stack of MAC waves — e.g. every kernel location of
+every image in a minibatch — through the substrate with a handful of
+array operations per bank instead of a Python loop per wave.  In ideal
+mode the batched path performs the identical per-element arithmetic as
+wave-by-wave :meth:`~BroadcastAndWeightLayer.compute`, so the two are
+bit-equal; in noisy mode RIN / shot / thermal samples are drawn
+independently per wave, preserving the statistics.
 """
 
 from __future__ import annotations
@@ -109,6 +118,34 @@ class PhotonicMacUnit:
         drop, through = self.bank.apply(powers)
         current = self.detector.detect(drop, through)
         return current / self.calibration_scale
+
+    def compute_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Run a stack of optical MACs in one vectorized pass.
+
+        Args:
+            inputs: normalized input vectors of shape
+                ``(waves, num_inputs)``, entries in [0, 1].
+
+        Returns:
+            Array of shape ``(waves,)`` estimating ``inputs @ w``.
+
+        Raises:
+            ValueError: if the trailing axis mismatches the unit.
+        """
+        batch = np.ascontiguousarray(np.atleast_2d(np.asarray(inputs, dtype=float)))
+        if batch.ndim != 2 or batch.shape[-1] != self.num_inputs:
+            raise ValueError(
+                f"expected (waves, {self.num_inputs}) inputs, got shape "
+                f"{np.asarray(inputs).shape}"
+            )
+        powers = self.lasers.emit(
+            self.detector.spec.bandwidth_hz, batch_size=batch.shape[0]
+        )
+        powers = powers * self.modulator.encode(batch)
+        powers = self.bus.propagate(powers)
+        drop, through = self.bank.apply(powers)
+        currents = self.detector.detect(drop, through)
+        return np.atleast_1d(currents) / self.calibration_scale
 
     def dot(self, inputs: np.ndarray, weights: np.ndarray) -> float:
         """Convenience: program ``weights`` then compute one MAC."""
@@ -222,6 +259,47 @@ class BroadcastAndWeightLayer:
         ):
             drop, through = bank.apply(branch)
             outputs[index] = detector.detect(drop, through) / scale
+        return outputs
+
+    def compute_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Broadcast a whole stack of MAC waves through the layer at once.
+
+        This is the vectorized engine behind batched photonic
+        convolution: every row of ``inputs`` is one receptive field (from
+        any kernel location of any image in a minibatch), and each weight
+        bank processes the entire stack with a few array operations —
+        elementwise weighting plus one summation per wave — instead of a
+        Python loop per wave.
+
+        Args:
+            inputs: normalized receptive fields of shape
+                ``(waves, num_inputs)``, entries in [0, 1].
+
+        Returns:
+            Array of shape ``(waves, num_outputs)`` estimating
+            ``inputs @ W.T``.
+
+        Raises:
+            ValueError: if the trailing axis mismatches the layer.
+        """
+        batch = np.ascontiguousarray(np.atleast_2d(np.asarray(inputs, dtype=float)))
+        if batch.ndim != 2 or batch.shape[-1] != self.num_inputs:
+            raise ValueError(
+                f"expected (waves, {self.num_inputs}) inputs, got shape "
+                f"{np.asarray(inputs).shape}"
+            )
+        num_waves = batch.shape[0]
+        powers = self.lasers.emit(batch_size=num_waves)
+        powers = powers * self.modulator.encode(batch)
+        # The splitter delivers the same attenuated copy to every bank.
+        branch = powers * self.splitter.per_output_transmission
+        scale = self.calibration_scale
+        outputs = np.empty((num_waves, self.num_outputs), dtype=float)
+        for index, (bank, detector) in enumerate(
+            zip(self.banks, self.detectors)
+        ):
+            drop, through = bank.apply(branch)
+            outputs[:, index] = detector.detect(drop, through) / scale
         return outputs
 
     def matvec(self, inputs: np.ndarray, matrix: np.ndarray) -> np.ndarray:

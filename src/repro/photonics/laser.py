@@ -72,22 +72,39 @@ class LaserBank:
         """Number of lasers in the bank."""
         return self.grid.num_channels
 
-    def emit(self, receiver_bandwidth_hz: float = 5e9) -> np.ndarray:
-        """Emit the per-channel optical power vector (W).
+    def emit(
+        self,
+        receiver_bandwidth_hz: float = 5e9,
+        batch_size: int | None = None,
+    ) -> np.ndarray:
+        """Emit per-channel optical power vectors (W).
 
         Args:
             receiver_bandwidth_hz: bandwidth over which RIN integrates;
                 only used when RIN is active.
+            batch_size: when given, emit one independent power vector per
+                MAC wave of a batch — RIN is sampled per (wave, channel).
 
         Returns:
-            Array of shape ``(num_channels,)`` of non-negative powers.
+            Array of shape ``(num_channels,)``, or
+            ``(batch_size, num_channels)`` when ``batch_size`` is given,
+            of non-negative powers.
+
+        Raises:
+            ValueError: if ``batch_size`` is given but not positive.
         """
-        powers = np.full(self.num_channels, self.spec.power_w, dtype=float)
+        if batch_size is None:
+            shape: tuple[int, ...] = (self.num_channels,)
+        elif batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size!r}")
+        else:
+            shape = (batch_size, self.num_channels)
+        powers = np.full(shape, self.spec.power_w, dtype=float)
         if self.noise.rin_active:
             rin_db = self.noise.relative_intensity_noise_db_per_hz
             variance = db_to_linear(rin_db) * receiver_bandwidth_hz
             sigma = np.sqrt(variance)
-            powers *= 1.0 + self.noise.rng.normal(0.0, sigma, self.num_channels)
+            powers *= 1.0 + self.noise.rng.normal(0.0, sigma, shape)
             np.clip(powers, 0.0, None, out=powers)
         return powers
 

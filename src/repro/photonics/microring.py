@@ -18,6 +18,15 @@ resonance, ``FWHM = f_res / Q`` is the linewidth, ``T_peak`` is the peak
 drop-port transmission and ``T_min`` the minimum through-port transmission
 (limited by the extinction ratio).  The inverse maps (transmission ->
 detuning) are closed-form, which is what makes weight calibration exact.
+
+Both the forward and inverse transfer functions exist in two forms: the
+object-oriented :class:`Microring` (one physical ring) and array-first
+module functions (:func:`lorentzian_lineshape`,
+:func:`drop_transmission_profile`, :func:`detunings_for_drop`) that
+evaluate whole banks of rings — arbitrary ``(rings,)`` / ``(rings,
+channels)`` / ``(batch, channels)`` arrays — in a single NumPy expression.
+The vectorized execution engine is built on the array forms; the scalar
+class delegates to them so the two can never drift apart.
 """
 
 from __future__ import annotations
@@ -36,6 +45,103 @@ from repro.photonics.constants import (
     SPEED_OF_LIGHT,
     wavelength_to_frequency,
 )
+
+
+def lorentzian_lineshape(
+    carrier_hz: np.ndarray | float,
+    resonance_hz: np.ndarray | float,
+    linewidth_hz: np.ndarray | float,
+) -> np.ndarray:
+    """Unit-peak Lorentzian response, broadcast over any array shapes.
+
+    Args:
+        carrier_hz: optical carrier frequencies (any broadcastable shape).
+        resonance_hz: ring resonance frequencies.
+        linewidth_hz: FWHM linewidths.
+
+    Returns:
+        ``1 / (1 + (2 * (carrier - resonance) / FWHM)**2)`` elementwise.
+    """
+    delta = np.asarray(carrier_hz, dtype=float) - np.asarray(
+        resonance_hz, dtype=float
+    )
+    half_width = 0.5 * np.asarray(linewidth_hz, dtype=float)
+    return 1.0 / (1.0 + (delta / half_width) ** 2)
+
+
+def drop_transmission_profile(
+    carrier_hz: np.ndarray | float,
+    resonance_hz: np.ndarray | float,
+    linewidth_hz: np.ndarray | float,
+    peak_drop_transmission: float = 1.0,
+) -> np.ndarray:
+    """Drop-port power transmission for banks of rings, vectorized.
+
+    All frequency arguments broadcast together, so one call can evaluate
+    e.g. every ring of a bank at every WDM channel (``(rings, 1)`` against
+    ``(channels,)``) or a ``(batch, channels)`` carrier grid at once.
+    """
+    return peak_drop_transmission * lorentzian_lineshape(
+        carrier_hz, resonance_hz, linewidth_hz
+    )
+
+
+def through_transmission_profile(
+    carrier_hz: np.ndarray | float,
+    resonance_hz: np.ndarray | float,
+    linewidth_hz: np.ndarray | float,
+    min_through_transmission: float = 0.0,
+) -> np.ndarray:
+    """Through-port power transmission for banks of rings, vectorized."""
+    depth = 1.0 - min_through_transmission
+    return 1.0 - depth * lorentzian_lineshape(
+        carrier_hz, resonance_hz, linewidth_hz
+    )
+
+
+def detunings_for_drop(
+    transmissions: np.ndarray,
+    linewidth_hz: np.ndarray | float,
+    peak_drop_transmission: float = 1.0,
+    max_detuning_linewidths: float = 1e4,
+) -> np.ndarray:
+    """Vectorized inverse Lorentzian: detunings realizing drop fractions.
+
+    The whole-bank counterpart of :meth:`Microring.detuning_for_drop`:
+    inverts ``T = T_peak / (1 + (2 delta / FWHM)**2)`` elementwise.
+    Targets at (or numerically below) zero transmission are mapped to a
+    large-but-finite parking detuning of ``max_detuning_linewidths``
+    linewidths, the same convention weight banks use to realize a ~zero
+    drop fraction.
+
+    Args:
+        transmissions: target drop transmissions in ``[0, T_peak]``.
+        linewidth_hz: FWHM linewidths (broadcastable to the targets).
+        peak_drop_transmission: on-resonance drop transmission.
+        max_detuning_linewidths: parking detuning for zero targets.
+
+    Returns:
+        Non-negative detunings, same shape as the broadcast inputs.
+
+    Raises:
+        ValueError: if any target exceeds the peak transmission.
+    """
+    targets = np.asarray(transmissions, dtype=float)
+    if np.any(targets > peak_drop_transmission + 1e-12):
+        raise ValueError(
+            f"drop transmission cannot exceed the peak "
+            f"{peak_drop_transmission}; got max {targets.max()!r}"
+        )
+    linewidths = np.broadcast_to(
+        np.asarray(linewidth_hz, dtype=float), targets.shape
+    )
+    half_widths = 0.5 * linewidths
+    parked = targets <= 0.0
+    safe = np.where(parked, peak_drop_transmission, targets)
+    detunings = half_widths * np.sqrt(
+        np.maximum(peak_drop_transmission / safe - 1.0, 0.0)
+    )
+    return np.where(parked, max_detuning_linewidths * linewidths, detunings)
 
 
 @dataclass(frozen=True)
@@ -159,20 +265,27 @@ class Microring:
 
     def _lorentzian(self, carrier_hz: np.ndarray | float) -> np.ndarray | float:
         """Unit-peak Lorentzian of the detuning between carrier and resonance."""
-        delta = np.asarray(carrier_hz, dtype=float) - self.resonance_hz
-        half_width = 0.5 * self.linewidth_hz
-        return 1.0 / (1.0 + (delta / half_width) ** 2)
+        return lorentzian_lineshape(carrier_hz, self.resonance_hz, self.linewidth_hz)
 
     def drop_transmission(self, carrier_hz: np.ndarray | float) -> np.ndarray | float:
         """Power transmission from input port to drop port at ``carrier_hz``."""
-        return self.design.peak_drop_transmission * self._lorentzian(carrier_hz)
+        return drop_transmission_profile(
+            carrier_hz,
+            self.resonance_hz,
+            self.linewidth_hz,
+            self.design.peak_drop_transmission,
+        )
 
     def through_transmission(
         self, carrier_hz: np.ndarray | float
     ) -> np.ndarray | float:
         """Power transmission from input port to through port at ``carrier_hz``."""
-        depth = 1.0 - self.design.min_through_transmission
-        return 1.0 - depth * self._lorentzian(carrier_hz)
+        return through_transmission_profile(
+            carrier_hz,
+            self.resonance_hz,
+            self.linewidth_hz,
+            self.design.min_through_transmission,
+        )
 
     def drop_at_target(self) -> float:
         """Drop-port transmission at the ring's own target channel."""

@@ -11,6 +11,13 @@ Noise model (active only when the :class:`NoiseConfig` enables it):
 
 * shot noise:     sigma_i^2 = 2 q I B
 * thermal noise:  sigma_i^2 = 4 k T B / R_load
+
+Detection is array-first: ``detect`` accepts a per-channel power vector
+``(channels,)`` (returning a float, the original scalar contract) or a
+batch ``(batch, channels)`` / ``(..., channels)`` stack (returning one
+photocurrent per leading element), with noise sampled independently per
+batch element.  The batched path performs the identical per-element
+arithmetic, so ideal-mode results are bit-equal to the scalar path.
 """
 
 from __future__ import annotations
@@ -66,12 +73,19 @@ class PhotodiodeSpec:
                 f"dark current must be non-negative, got {self.dark_current_a!r}"
             )
 
-    def shot_noise_sigma_a(self, photocurrent_a: float) -> float:
-        """RMS shot-noise current (A) at a given mean photocurrent."""
-        mean = abs(photocurrent_a) + self.dark_current_a
-        return float(
-            np.sqrt(2.0 * ELEMENTARY_CHARGE * mean * self.bandwidth_hz)
-        )
+    def shot_noise_sigma_a(
+        self, photocurrent_a: np.ndarray | float
+    ) -> np.ndarray | float:
+        """RMS shot-noise current (A) at given mean photocurrents.
+
+        Accepts a scalar (returns a float) or an array of mean currents
+        (returns the per-element sigmas).
+        """
+        mean = np.abs(np.asarray(photocurrent_a, dtype=float)) + self.dark_current_a
+        sigma = np.sqrt(2.0 * ELEMENTARY_CHARGE * mean * self.bandwidth_hz)
+        if sigma.ndim == 0:
+            return float(sigma)
+        return sigma
 
     def thermal_noise_sigma_a(self) -> float:
         """RMS thermal (Johnson) noise current (A)."""
@@ -101,14 +115,18 @@ class Photodiode:
         self.spec = spec if spec is not None else PhotodiodeSpec()
         self.noise = noise if noise is not None else ideal()
 
-    def detect(self, powers_w: np.ndarray) -> float:
-        """Convert a per-channel optical power vector to photocurrent (A).
+    def detect(self, powers_w: np.ndarray) -> np.ndarray | float:
+        """Convert per-channel optical power vectors to photocurrents (A).
 
         Args:
-            powers_w: non-negative optical powers per wavelength.
+            powers_w: non-negative optical powers per wavelength; either a
+                single ``(channels,)`` vector or a ``(..., channels)``
+                batch (channels on the last axis).
 
         Returns:
-            Photocurrent in amperes (noise included when enabled).
+            Photocurrent in amperes (noise included when enabled): a float
+            for a single vector, an array of leading-shape currents for a
+            batch.
 
         Raises:
             ValueError: if any incident power is negative.
@@ -116,18 +134,30 @@ class Photodiode:
         powers = np.asarray(powers_w, dtype=float)
         if np.any(powers < 0):
             raise ValueError("optical power cannot be negative")
-        current = self.spec.responsivity_a_per_w * float(powers.sum())
-        return self._add_noise(current)
+        if powers.ndim <= 1:
+            current = self.spec.responsivity_a_per_w * float(powers.sum())
+            return self._add_noise(current)
+        # Batched: one summation per leading element.  The per-row pairwise
+        # reduction over the contiguous last axis performs the same float
+        # additions as the 1-D sum above, keeping ideal mode bit-equal.
+        currents = self.spec.responsivity_a_per_w * np.ascontiguousarray(
+            powers
+        ).sum(axis=-1)
+        return self._add_noise(currents)
 
-    def _add_noise(self, current_a: float) -> float:
-        """Apply shot and thermal noise to a mean current."""
+    def _add_noise(self, current_a: np.ndarray | float) -> np.ndarray | float:
+        """Apply shot and thermal noise to mean currents (scalar or array)."""
         noisy = current_a
         if self.noise.shot_noise_active:
             sigma = self.spec.shot_noise_sigma_a(current_a)
-            noisy += float(self.noise.rng.normal(0.0, sigma))
+            noisy = noisy + self.noise.rng.normal(0.0, sigma)
         if self.noise.thermal_noise_active:
             sigma = self.spec.thermal_noise_sigma_a()
-            noisy += float(self.noise.rng.normal(0.0, sigma))
+            noisy = noisy + self.noise.rng.normal(
+                0.0, sigma, size=np.shape(current_a)
+            )
+        if np.ndim(noisy) == 0:
+            return float(noisy)
         return noisy
 
     def to_voltage(self, current_a: float) -> float:
@@ -160,8 +190,13 @@ class BalancedPhotodetector:
 
     def detect(
         self, drop_powers_w: np.ndarray, through_powers_w: np.ndarray
-    ) -> float:
-        """Balanced photocurrent: I(drop) - I(through), in amperes."""
+    ) -> np.ndarray | float:
+        """Balanced photocurrent: I(drop) - I(through), in amperes.
+
+        Accepts ``(channels,)`` vectors (returns a float) or batched
+        ``(..., channels)`` stacks (returns one balanced current per
+        leading element).
+        """
         return self.positive.detect(drop_powers_w) - self.negative.detect(
             through_powers_w
         )

@@ -22,13 +22,24 @@ Two fidelity levels are implemented:
   fractions come from the Lorentzian line shape of every ring evaluated
   at every channel, with the bus cascade ordering taken into account, so
   inter-channel crosstalk and miscalibration perturb the result.
+
+The transfer path is array-first: calibration inverts the Lorentzian for
+the whole bank in one vectorized evaluation, the physical-mode response
+is a single ``(rings, channels)`` line-shape matrix with a cumulative
+bus cascade, and :meth:`WeightBank.apply` weights a single ``(channels,)``
+wave or a batched ``(batch, channels)`` stack of waves alike.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.photonics.microring import Microring, MicroringDesign
+from repro.photonics.microring import (
+    Microring,
+    MicroringDesign,
+    detunings_for_drop,
+    drop_transmission_profile,
+)
 from repro.photonics.noise import NoiseConfig, ideal
 from repro.photonics.wdm import WdmGrid
 
@@ -107,15 +118,24 @@ class WeightBank:
         self._drop_fractions = drops
         self._apply_detunings(drops)
 
+    @property
+    def _linewidths_hz(self) -> np.ndarray:
+        """Per-ring FWHM linewidths at each ring's own channel (Hz)."""
+        return self.grid.frequencies_hz / self.design.quality_factor
+
     def _apply_detunings(self, drop_fractions: np.ndarray) -> None:
-        """Tune each physical ring to realize its target drop fraction."""
-        for ring, target in zip(self.rings, drop_fractions):
-            peak = ring.design.peak_drop_transmission
-            achievable = min(float(target) * peak, peak)
-            if achievable <= 0.0:
-                ring.detuning_hz = _MAX_DETUNING_LINEWIDTHS * ring.linewidth_hz
-            else:
-                ring.detuning_hz = ring.detuning_for_drop(achievable)
+        """Tune each physical ring to realize its target drop fraction.
+
+        The detunings for the whole bank are computed in one vectorized
+        inverse-Lorentzian evaluation, then written onto the ring objects.
+        """
+        peak = self.design.peak_drop_transmission
+        targets = np.minimum(np.asarray(drop_fractions, dtype=float) * peak, peak)
+        detunings = detunings_for_drop(
+            targets, self._linewidths_hz, peak, _MAX_DETUNING_LINEWIDTHS
+        )
+        for ring, detuning in zip(self.rings, detunings):
+            ring.detuning_hz = detuning
 
     # -- transfer ------------------------------------------------------------
 
@@ -137,32 +157,47 @@ class WeightBank:
             return drop, 1.0 - drop
 
         frequencies = self.grid.frequencies_hz
-        num = self.num_rings
-        drop = np.zeros(num, dtype=float)
-        remaining = np.ones(num, dtype=float)
-        for ring in self.rings:
-            ring_drop = np.asarray(ring.drop_transmission(frequencies), dtype=float)
-            ring_through = 1.0 - ring_drop
-            drop += remaining * ring_drop
-            remaining *= ring_through
+        resonances = np.array([ring.resonance_hz for ring in self.rings])
+        # Every ring's Lorentzian at every channel, one (rings, channels)
+        # evaluation; row j is ring j's drop response across the grid.
+        ring_drop = drop_transmission_profile(
+            frequencies[None, :],
+            resonances[:, None],
+            self._linewidths_hz[:, None],
+            self.design.peak_drop_transmission,
+        )
+        ring_through = 1.0 - ring_drop
+        # Serial bus cascade: channel power reaching ring j has passed the
+        # through ports of rings 0..j-1 — a cumulative product down rows.
+        remaining_before = np.cumprod(
+            np.vstack([np.ones((1, self.num_rings)), ring_through[:-1]]), axis=0
+        )
+        drop = (remaining_before * ring_drop).sum(axis=0)
+        remaining = remaining_before[-1] * ring_through[-1]
         return drop, remaining
 
     def apply(self, input_powers_w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Weight a WDM power vector.
+        """Weight WDM power vectors.
 
         Args:
-            input_powers_w: per-channel optical powers entering the bus.
+            input_powers_w: per-channel optical powers entering the bus —
+                a single ``(channels,)`` vector or a batched
+                ``(..., channels)`` stack, one MAC wave per leading
+                element (the aggregate ring transfer applies identically
+                to every wave, since the weights are held between waves).
 
         Returns:
-            ``(drop_powers, through_powers)`` per channel, in watts.
+            ``(drop_powers, through_powers)`` per channel, in watts, with
+            the same shape as the input.
 
         Raises:
             ValueError: on shape mismatch or negative input power.
         """
         powers = np.asarray(input_powers_w, dtype=float)
-        if powers.shape != (self.num_rings,):
+        if powers.ndim == 0 or powers.shape[-1] != self.num_rings:
             raise ValueError(
-                f"expected {self.num_rings} channel powers, got shape {powers.shape}"
+                f"expected {self.num_rings} channel powers on the last "
+                f"axis, got shape {powers.shape}"
             )
         if np.any(powers < 0):
             raise ValueError("optical power cannot be negative")

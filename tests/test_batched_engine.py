@@ -1,0 +1,253 @@
+"""Tests for the vectorized batched photonic execution engine.
+
+The contract under test (see ``docs/architecture.md``):
+
+* in ideal mode the vectorized engine is *bit-identical* to the retained
+  wave-by-wave reference loop (``np.array_equal``, i.e. atol=0), across
+  strides, paddings, batch sizes, and rectangular inputs;
+* in noisy mode the two engines are statistically consistent — same
+  error scale against the ideal result, seeded reproducibility;
+* the batched entry points (``conv2d_batch``, batched ``convolve``,
+  batched ``run_network``, ``compute_batch``) agree with their
+  per-image / per-wave counterparts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.core.batching import network_batch_timing_simulated
+from repro.core.config import PCNNAConfig
+from repro.core.timing import simulate_layer, simulate_layer_batch
+from repro.nn import build_lenet5, functional as F
+from repro.photonics.broadcast_weight import BroadcastAndWeightLayer
+from repro.photonics.noise import NoiseConfig, realistic
+from repro.workloads import alexnet_layer
+
+
+def _engines():
+    vectorized = PhotonicConvolution(method="device", mode="vectorized")
+    reference = PhotonicConvolution(method="device", mode="reference")
+    return vectorized, reference
+
+
+class TestIdealBitEquality:
+    @pytest.mark.parametrize(
+        ("stride", "padding", "batch"),
+        [(1, 0, 1), (2, 1, 3), (1, 2, 2), (3, 0, 4), (2, 2, 1)],
+    )
+    def test_vectorized_equals_reference_exactly(self, stride, padding, batch):
+        rng = np.random.default_rng(stride * 100 + padding * 10 + batch)
+        x = rng.normal(size=(batch, 2, 9, 7))
+        k = rng.normal(size=(3, 2, 3, 3))
+        vectorized, reference = _engines()
+        out_vec = vectorized.convolve(x, k, stride, padding)
+        out_ref = reference.convolve(x, k, stride, padding)
+        assert np.array_equal(out_vec, out_ref)
+
+    def test_single_image_bit_equal(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 8, 8))
+        k = rng.normal(size=(4, 3, 3, 3))
+        vectorized, reference = _engines()
+        assert np.array_equal(
+            vectorized.convolve(x, k), reference.convolve(x, k)
+        )
+
+    def test_batch_of_one_equals_unbatched(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 6, 6))
+        k = rng.normal(size=(3, 2, 3, 3))
+        engine = PhotonicConvolution(method="device")
+        assert np.array_equal(
+            engine.convolve(x[None], k, 2, 1)[0], engine.convolve(x, k, 2, 1)
+        )
+
+    def test_quantized_paths_bit_equal(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 2, 7, 7))
+        k = rng.normal(size=(3, 2, 3, 3))
+        vec = PhotonicConvolution(method="device", quantize=True)
+        ref = PhotonicConvolution(
+            method="device", quantize=True, mode="reference"
+        )
+        assert np.array_equal(vec.convolve(x, k), ref.convolve(x, k))
+
+    def test_vectorized_matches_numpy_reference(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 3, 8, 8))
+        k = rng.normal(size=(5, 3, 3, 3))
+        out = PhotonicConvolution(method="device").convolve(x, k, 2, 1)
+        assert np.allclose(out, F.conv2d_batch(x, k, 2, 1), atol=1e-9)
+
+    def test_matrix_method_matches_device_batched(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 1, 6, 6))
+        k = rng.normal(size=(2, 1, 3, 3))
+        device = PhotonicConvolution(method="device").convolve(x, k)
+        matrix = PhotonicConvolution(method="matrix").convolve(x, k)
+        assert np.allclose(device, matrix, atol=1e-9)
+
+
+class TestBatchedShapes:
+    def test_batched_output_shape(self):
+        x = np.zeros((5, 2, 8, 8))
+        k = np.zeros((3, 2, 3, 3))
+        out = PhotonicConvolution().convolve(x, k, stride=1, padding=1)
+        assert out.shape == (5, 3, 8, 8)
+
+    def test_unbatched_output_stays_3d(self):
+        out = PhotonicConvolution().convolve(
+            np.zeros((2, 6, 6)), np.zeros((3, 2, 3, 3))
+        )
+        assert out.shape == (3, 4, 4)
+
+    def test_rejects_bad_rank(self):
+        engine = PhotonicConvolution()
+        with pytest.raises(ValueError):
+            engine.convolve(np.zeros((4, 4)), np.zeros((1, 1, 2, 2)))
+        with pytest.raises(ValueError):
+            engine.convolve(np.zeros((1, 1, 2, 4, 4)), np.zeros((1, 2, 2, 2)))
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError, match="at least one image"):
+            PhotonicConvolution().convolve(
+                np.zeros((0, 2, 6, 6)), np.zeros((3, 2, 3, 3))
+            )
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            PhotonicConvolution().convolve(
+                np.zeros((2, 3, 4, 4)), np.zeros((1, 2, 2, 2))
+            )
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            PhotonicConvolution(mode="turbo")
+
+    def test_compute_batch_shape_check(self):
+        layer = BroadcastAndWeightLayer(5, 3)
+        layer.set_weight_matrix(np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            layer.compute_batch(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            layer.compute_batch(np.zeros((2, 2, 5)))
+        assert layer.compute_batch(np.zeros((2, 5))).shape == (2, 3)
+
+    def test_mac_unit_compute_batch_rejects_3d(self):
+        from repro.photonics.broadcast_weight import PhotonicMacUnit
+
+        unit = PhotonicMacUnit(4)
+        unit.set_weights(np.zeros(4))
+        with pytest.raises(ValueError):
+            unit.compute_batch(np.full((2, 2, 4), 0.5))
+
+
+class TestNoisyConsistency:
+    @staticmethod
+    def _noisy_out(mode, seed):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(2, 1, 6, 6))
+        k = rng.normal(size=(2, 1, 3, 3))
+        config = PCNNAConfig(noise=realistic(seed=seed))
+        engine = PhotonicConvolution(config, method="device", mode=mode)
+        return engine.convolve(x, k), F.conv2d_batch(x, k)
+
+    def test_noisy_engines_statistically_consistent(self):
+        out_vec, ideal = self._noisy_out("vectorized", seed=5)
+        out_ref, _ = self._noisy_out("reference", seed=5)
+        err_vec = out_vec - ideal
+        err_ref = out_ref - ideal
+        # Both engines are noisy (non-exact) but stay on the same error
+        # scale — the noise is injected per wave in both.
+        assert np.any(err_vec != 0.0) and np.any(err_ref != 0.0)
+        rms_vec = float(np.sqrt(np.mean(err_vec**2)))
+        rms_ref = float(np.sqrt(np.mean(err_ref**2)))
+        assert rms_vec < 3.0 * rms_ref
+        assert rms_ref < 3.0 * rms_vec
+        scale = float(np.max(np.abs(ideal)))
+        assert np.max(np.abs(err_vec)) < 0.5 * scale
+
+    def test_noisy_vectorized_reproducible(self):
+        first, _ = self._noisy_out("vectorized", seed=6)
+        second, _ = self._noisy_out("vectorized", seed=6)
+        other, _ = self._noisy_out("vectorized", seed=7)
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, other)
+
+    def test_tuning_error_degrades_both_engines(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(1, 6, 6))
+        k = rng.normal(size=(2, 1, 3, 3))
+        ideal = F.conv2d(x, k)
+        for mode in ("vectorized", "reference"):
+            config = PCNNAConfig(
+                noise=NoiseConfig(enabled=True, ring_tuning_sigma=0.01, seed=8)
+            )
+            out = PhotonicConvolution(config, method="device", mode=mode)
+            assert not np.allclose(out.convolve(x, k), ideal, atol=1e-12)
+
+
+class TestBatchedFunctional:
+    def test_conv2d_batch_matches_per_image(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(3, 2, 7, 9))
+        k = rng.normal(size=(4, 2, 3, 3))
+        bias = rng.normal(size=4)
+        batched = F.conv2d_batch(x, k, 2, 1, bias)
+        stacked = np.stack([F.conv2d(m, k, 2, 1, bias) for m in x])
+        assert np.allclose(batched, stacked, atol=1e-10)
+
+    def test_conv2d_batch_shape_checks(self):
+        with pytest.raises(ValueError):
+            F.conv2d_batch(np.zeros((2, 4, 4)), np.zeros((1, 2, 2, 2)))
+        with pytest.raises(ValueError):
+            F.conv2d_batch(
+                np.zeros((1, 2, 4, 4)), np.zeros((1, 2, 2, 2)), bias=np.zeros(3)
+            )
+        with pytest.raises(ValueError, match="at least one image"):
+            F.conv2d_batch(np.zeros((0, 2, 4, 4)), np.zeros((1, 2, 2, 2)))
+
+
+class TestBatchedNetwork:
+    def test_run_network_batched_matches_per_image(self):
+        net = build_lenet5(seed=2)
+        accelerator = PCNNA()
+        x = np.random.default_rng(13).normal(size=(3, 1, 32, 32))
+        batched = accelerator.run_network(net, x)
+        per_image = np.stack(
+            [accelerator.run_network(net, image) for image in x]
+        )
+        assert batched.shape == (3, 10)
+        assert np.allclose(batched, per_image, atol=1e-9)
+
+    def test_run_network_batched_shape_check(self):
+        net = build_lenet5()
+        with pytest.raises(ValueError):
+            PCNNA().run_network(net, np.zeros((2, 1, 30, 30)))
+
+
+class TestBatchedTiming:
+    def test_simulate_layer_batch_composition(self):
+        spec = alexnet_layer("conv3")
+        single = simulate_layer(spec)
+        batch = simulate_layer_batch(spec, 16)
+        assert batch.total_time_s == pytest.approx(
+            single.weight_load_time_s + 16 * single.pipelined_time_s
+        )
+        assert batch.per_image_s < simulate_layer_batch(spec, 1).per_image_s
+
+    def test_simulate_layer_batch_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            simulate_layer_batch(alexnet_layer("conv1"), 0)
+
+    def test_network_batch_timing_simulated(self):
+        from repro.workloads import alexnet_conv_specs
+
+        specs = alexnet_conv_specs()[:2]
+        small = network_batch_timing_simulated(specs, 1)
+        large = network_batch_timing_simulated(specs, 64)
+        assert large.images_per_s > small.images_per_s
+        assert large.weight_load_fraction < small.weight_load_fraction
+        with pytest.raises(ValueError):
+            network_batch_timing_simulated(specs, 0)
