@@ -9,7 +9,9 @@ library models:
    (which dominates single-image latency);
 2. **inter-layer pipelining** over several cores — weight-stationary,
    bounded by the slowest layer slice;
-3. **pruning** — trades conv accuracy for rings, heater power, and area.
+3. **pruning** — trades conv accuracy for rings, heater power, and area;
+4. **executing** the pipeline: the same balanced partition drives a real
+   minibatch through the functional photonic engine, stage by stage.
 
 Run:  python examples/pipelined_deployment.py
 """
@@ -20,6 +22,8 @@ from repro.analysis import format_count, format_table, format_time
 from repro.core.batching import network_batch_timing, weight_stationary_crossover
 from repro.core.multicore import balanced_partition, pipeline_speedup
 from repro.core.pruning import sparse_mapping_report, threshold_for_sparsity
+from repro.core.serving import run_network_pipelined
+from repro.nn import build_lenet5
 from repro.workloads import alexnet_conv_specs
 
 
@@ -104,6 +108,18 @@ def main() -> None:
     print(
         "   At 90 % sparsity conv4 fits in ~133 K rings (83 mm^2 of rings\n"
         "   instead of 829 mm^2) and sheds ~1.2 kW of heater power."
+    )
+
+    # --- lever 4: execute the pipeline ----------------------------------
+    network = build_lenet5(seed=0)
+    images = np.random.default_rng(1).normal(size=(8, 1, 32, 32))
+    result = run_network_pipelined(network, images, num_cores=3)
+    print()
+    print("4) executable pipeline (LeNet-5, real photonic engine, batch=8)")
+    print("   " + result.describe().replace("\n", "\n   "))
+    print(
+        "   Outputs are bit-identical to the single-core run: pipelining\n"
+        "   moves *when* a core sees an image, never *what* it computes."
     )
 
 

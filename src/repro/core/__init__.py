@@ -77,6 +77,12 @@ from repro.core.pruning import (
     threshold_for_sparsity,
 )
 from repro.core.scheduler import LayerSchedule, LocationStep, dram_traffic_bytes
+from repro.core.serving import (
+    PipelinedRunResult,
+    PipelineStage,
+    run_network_pipelined,
+    stage_layer_slices,
+)
 from repro.core.timing import (
     BatchLayerTimingResult,
     LayerTimingResult,
@@ -151,6 +157,10 @@ __all__ = [
     "LayerSchedule",
     "LocationStep",
     "dram_traffic_bytes",
+    "PipelinedRunResult",
+    "PipelineStage",
+    "run_network_pipelined",
+    "stage_layer_slices",
     "BatchLayerTimingResult",
     "LayerTimingResult",
     "StageBreakdown",

@@ -46,7 +46,7 @@ import numpy as np
 from repro.core.analytical import LayerAnalysis, analyze_layer
 from repro.core.config import PCNNAConfig
 from repro.core.timing import LayerTimingResult, simulate_layer
-from repro.nn.im2col import fold_batch_outputs, im2col_batch
+from repro.nn.im2col import im2col_batch_stacked
 from repro.nn.network import Network
 from repro.nn.shapes import ConvLayerSpec, conv_output_side
 from repro.photonics.broadcast_weight import BroadcastAndWeightLayer
@@ -57,16 +57,23 @@ from repro.photonics.wdm import WdmGrid
 class ConvScaling:
     """Affine scaling constants for one photonic conv layer.
 
+    The input range is derived *per image* so that an image's encoding —
+    and therefore its DAC/ADC quantization — never depends on which
+    other images share its minibatch; the weight scaling is per layer
+    (the banks are programmed once for the whole batch).
+
     Attributes:
-        input_offset: subtracted from inputs before normalization.
-        input_scale: divides shifted inputs into [0, 1].
+        input_offset: per-image offsets ``(B,)`` subtracted from inputs
+            before normalization.
+        input_scale: per-image spans ``(B,)`` dividing shifted inputs
+            into [0, 1].
         weight_scale: divides weights into [-1, 1].
         weight_sums: per-kernel sums of the *scaled* weights, used to
             remove the input offset from the detected outputs.
     """
 
-    input_offset: float
-    input_scale: float
+    input_offset: np.ndarray
+    input_scale: np.ndarray
     weight_scale: float
     weight_sums: np.ndarray
 
@@ -74,34 +81,33 @@ class ConvScaling:
         """Map balanced-detector outputs back to true convolution values.
 
         Args:
-            raw_outputs: array of shape ``(K,)`` or ``(K, num_locations)``.
+            raw_outputs: array of shape ``(B, K, num_locations)``.
         """
-        sums = self.weight_sums
-        if raw_outputs.ndim == 2:
-            sums = sums[:, None]
-        return (raw_outputs * self.input_scale + self.input_offset * sums) * (
-            self.weight_scale
-        )
+        return (
+            raw_outputs * self.input_scale[:, None, None]
+            + self.input_offset[:, None, None] * self.weight_sums[None, :, None]
+        ) * self.weight_scale
 
 
 def _compute_scaling(
-    feature_map: np.ndarray, kernels: np.ndarray, include_zero: bool = False
+    stack: np.ndarray, kernels: np.ndarray, include_zero: bool = False
 ) -> tuple[ConvScaling, np.ndarray]:
-    """Derive the affine scaling and the scaled weight matrix.
+    """Derive the per-image affine scaling and the scaled weight matrix.
 
     Args:
-        include_zero: extend the input range to contain 0 — required when
-            zero padding injects literal zeros into receptive fields.
+        stack: minibatch of shape ``(B, C, H, W)``.
+        include_zero: extend the input ranges to contain 0 — required
+            when zero padding injects literal zeros into receptive
+            fields.
     """
-    x_min = float(feature_map.min())
-    x_max = float(feature_map.max())
+    x_min = stack.min(axis=(1, 2, 3))
+    x_max = stack.max(axis=(1, 2, 3))
     if include_zero:
-        x_min = min(x_min, 0.0)
-        x_max = max(x_max, 0.0)
+        x_min = np.minimum(x_min, 0.0)
+        x_max = np.maximum(x_max, 0.0)
     span = x_max - x_min
-    if span <= 0.0:
-        # Constant input: any positive scale works; pick 1 to avoid 0/0.
-        span = 1.0
+    # Constant image: any positive scale works; pick 1 to avoid 0/0.
+    span = np.where(span <= 0.0, 1.0, span)
     w_max = float(np.abs(kernels).max())
     if w_max <= 0.0:
         w_max = 1.0
@@ -208,72 +214,111 @@ class PhotonicConvolution:
         height = stack.shape[2]
         width = stack.shape[3]
 
+        out_h = conv_output_side(height, kernel_size, padding, stride)
+        out_w = conv_output_side(width, kernel_size, padding, stride)
+        num_locations = out_h * out_w
+
         # Zero padding injects literal zeros into receptive fields, so the
         # affine input range must contain 0 for the encoding to be exact.
-        # The scaling spans the whole batch: one weight programming and
-        # one encoding range serve every image, as on the real hardware.
-        columns = im2col_batch(stack, kernel_size, stride, padding)
+        # The weights are programmed once for the whole batch, but the
+        # input encoding range is *per image*: an image's normalization,
+        # DAC/ADC quantization, and TIA gain must not depend on which
+        # other images share its minibatch.
+        columns = im2col_batch_stacked(stack, kernel_size, stride, padding)
         scaling, weight_matrix = _compute_scaling(
             stack, kernels, include_zero=padding > 0
         )
-        normalized = (columns - scaling.input_offset) / scaling.input_scale
-        normalized = np.clip(normalized, 0.0, 1.0)
+        # In-place on the freshly-gathered columns: the encode chain is
+        # memory-bandwidth-bound at batch scale, so avoid temporaries.
+        normalized = np.subtract(
+            columns, scaling.input_offset[:, None, None], out=columns
+        )
+        np.divide(normalized, scaling.input_scale[:, None, None], out=normalized)
+        np.clip(normalized, 0.0, 1.0, out=normalized)
 
         if self.quantize:
             normalized = self.config.input_dac.quantize(normalized)
 
         if self._resolved_method() == "matrix":
-            raw = weight_matrix @ normalized
-        elif self.mode == "reference":
-            raw = self._device_matvec(normalized, weight_matrix)
+            # Stacked per-image GEMM: each image's slice has the exact
+            # shape and layout a single-image call issues, so batched
+            # execution is bit-identical to running the images one by one.
+            raw = weight_matrix[None] @ normalized
         else:
-            raw = self._device_matvec_vectorized(normalized, weight_matrix)
+            # Wave-major stack: wave b * L + l is image b's location l,
+            # matching the image-major column order of im2col_batch.
+            waves = np.ascontiguousarray(
+                normalized.transpose(0, 2, 1)
+            ).reshape(batch_size * num_locations, -1)
+            if self.mode == "reference":
+                currents = self._device_matvec(waves, weight_matrix)
+            else:
+                currents = self._device_matvec_vectorized(waves, weight_matrix)
+            raw = currents.reshape(
+                batch_size, num_locations, num_kernels
+            ).transpose(0, 2, 1)
 
         if self.quantize:
             # The TIA's programmable gain maps the observed output range
             # onto the ADC full scale (automatic gain control), so the
-            # quantizer's resolution is spent on the actual signal.
-            gain = max(float(np.max(np.abs(raw))), 1e-30)
+            # quantizer's resolution is spent on the actual signal.  One
+            # gain per image: a batch-wide gain would couple an image's
+            # quantization to its batch neighbours.
+            gain = np.maximum(np.abs(raw).max(axis=(1, 2)), 1e-30)
+            gain = gain[:, None, None]
             raw = self.config.adc.quantize(raw / gain) * gain
 
         outputs = scaling.decode(raw)
-        out_h = conv_output_side(height, kernel_size, padding, stride)
-        out_w = conv_output_side(width, kernel_size, padding, stride)
-        result = fold_batch_outputs(outputs, batch_size, out_h, out_w)
+        result = outputs.reshape(batch_size, num_kernels, out_h, out_w)
         return result if batched else result[0]
 
     def _build_layer(self, weight_matrix: np.ndarray) -> BroadcastAndWeightLayer:
-        """Instantiate and program the optical core for one conv layer."""
+        """Instantiate and program the optical core for one conv layer.
+
+        The noise config is forked per call (fresh generator, seeded
+        from the configured seed plus the layer geometry), so two
+        identical noisy ``convolve`` calls draw identical noise instead
+        of consuming successive slices of a shared stream, while
+        different conv layers still get distinct streams.
+        """
         num_kernels, field_size = weight_matrix.shape
         layer = BroadcastAndWeightLayer(
             num_inputs=field_size,
             num_outputs=num_kernels,
             grid=WdmGrid(num_channels=field_size),
             ring_design=self.config.ring_design,
-            noise=self.config.noise,
+            noise=self.config.noise.fork(key=(num_kernels << 32) | field_size),
         )
         layer.set_weight_matrix(weight_matrix)
         return layer
 
     def _device_matvec(
-        self, normalized_columns: np.ndarray, weight_matrix: np.ndarray
+        self, waves: np.ndarray, weight_matrix: np.ndarray
     ) -> np.ndarray:
-        """Reference engine: one wave at a time through the device stack."""
+        """Reference engine: one wave at a time through the device stack.
+
+        Args:
+            waves: normalized receptive fields, shape ``(waves, field)``.
+
+        Returns:
+            Raw detector outputs, shape ``(waves, K)``.
+        """
         layer = self._build_layer(weight_matrix)
-        num_kernels = weight_matrix.shape[0]
-        num_locations = normalized_columns.shape[1]
-        raw = np.empty((num_kernels, num_locations), dtype=float)
-        for location in range(num_locations):
-            raw[:, location] = layer.compute(normalized_columns[:, location])
+        raw = np.empty((waves.shape[0], weight_matrix.shape[0]), dtype=float)
+        for index in range(waves.shape[0]):
+            raw[index] = layer.compute(waves[index])
         return raw
 
     def _device_matvec_vectorized(
-        self, normalized_columns: np.ndarray, weight_matrix: np.ndarray
+        self, waves: np.ndarray, weight_matrix: np.ndarray
     ) -> np.ndarray:
-        """Vectorized engine: the whole wave stack in batched array ops."""
+        """Vectorized engine: the whole wave stack in batched array ops.
+
+        Same contract as :meth:`_device_matvec`; bit-identical to it in
+        ideal mode.
+        """
         layer = self._build_layer(weight_matrix)
-        waves = np.ascontiguousarray(normalized_columns.T)
-        return layer.compute_batch(waves).T
+        return layer.compute_batch(waves)
 
 
 @dataclass(frozen=True)
@@ -356,7 +401,9 @@ class PCNNA:
                 minibatch with a leading batch axis — conv layers then run
                 through the batched photonic engine (weights programmed
                 once per layer for the whole batch) and electronic layers
-                run per image.
+                push the whole minibatch through single array operations
+                (``Layer.forward_batch``).  In ideal mode the batched
+                result is bit-identical to running the images one by one.
 
         Returns:
             The network output, with a leading batch axis iff the input
@@ -393,7 +440,7 @@ class PCNNA:
                     )
                     current = current + bias
             elif batched:
-                current = np.stack([layer.forward(image) for image in current])
+                current = layer.forward_batch(current)
             else:
                 current = layer.forward(current)
         return current

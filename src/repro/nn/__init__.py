@@ -11,6 +11,7 @@ from repro.nn.im2col import (
     fold_batch_outputs,
     im2col,
     im2col_batch,
+    im2col_batch_stacked,
     receptive_field_indices,
 )
 from repro.nn.layers import (
@@ -23,7 +24,12 @@ from repro.nn.layers import (
     ReLU,
     Softmax,
 )
-from repro.nn.models import build_alexnet, build_lenet5, build_vgg16
+from repro.nn.models import (
+    build_alexnet,
+    build_googlenet_stem,
+    build_lenet5,
+    build_vgg16,
+)
 from repro.nn.network import LayerActivation, Network
 from repro.nn.quantize import (
     QuantizedTensor,
@@ -39,6 +45,7 @@ __all__ = [
     "fold_batch_outputs",
     "im2col",
     "im2col_batch",
+    "im2col_batch_stacked",
     "receptive_field_indices",
     "Conv2D",
     "Dense",
@@ -49,6 +56,7 @@ __all__ = [
     "ReLU",
     "Softmax",
     "build_alexnet",
+    "build_googlenet_stem",
     "build_lenet5",
     "build_vgg16",
     "LayerActivation",

@@ -7,6 +7,14 @@ each other; the fast one backs the layer objects.
 
 Layout conventions: feature maps ``(C, H, W)``, kernels
 ``(K, C, m, m)``, dense weights ``(out_features, in_features)``.
+
+Every electronic op is *batch-native*: the spatial ops accept a single
+``(C, H, W)`` map or a ``(B, C, H, W)`` minibatch, ``linear`` accepts a
+vector or a ``(B, in_features)`` matrix, and all of them process the
+whole batch in vectorized array operations (stride-tricks window views,
+no per-window Python loops).  Batched results are bit-identical to
+stacking the per-image results: the batch axis only broadcasts, it never
+changes any reduction's operand order.
 """
 
 from __future__ import annotations
@@ -14,12 +22,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.im2col import (
-    fold_batch_outputs,
     im2col,
-    im2col_batch,
+    im2col_batch_stacked,
     pad_feature_map,
 )
-from repro.nn.shapes import conv_output_side
+from repro.nn.shapes import conv_output_side, pool_output_size
 
 
 def conv2d(
@@ -70,12 +77,15 @@ def conv2d_batch(
     padding: int = 0,
     bias: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Batched 2-D convolution: every image through one matrix multiply.
+    """Batched 2-D convolution: the whole minibatch in one stacked matmul.
 
     The electronic counterpart of the accelerator's batched photonic
-    engine: the im2col columns of all images are concatenated into a
-    single ``(C * m * m, B * num_locations)`` matrix and multiplied by
-    the kernel matrix once, instead of convolving image by image.
+    engine: the im2col columns of all images are gathered in one indexing
+    operation and multiplied by the kernel matrix as a stacked
+    ``(B, K, L)`` matrix product.  Each image's slice of the stacked
+    product is an identically-shaped GEMM to the one :func:`conv2d`
+    issues, so the batched result is *bit-identical* to stacking the
+    per-image results.
 
     Args:
         feature_maps: minibatch of shape ``(B, C, H, W)``.
@@ -101,19 +111,22 @@ def conv2d_batch(
     num_kernels, _, kernel_size, _ = kernels.shape
     batch_size, _, height, width = maps.shape
 
-    columns = im2col_batch(maps, kernel_size, stride, padding)
+    out_h = conv_output_side(height, kernel_size, padding, stride)
+    out_w = conv_output_side(width, kernel_size, padding, stride)
+    # Stacked per-image GEMM: (K, F) @ (B, F, L).  Each image's slice has
+    # the exact shape and layout conv2d uses, so results match it
+    # bit-for-bit (a single concatenated GEMM would round each image
+    # differently depending on its batch neighbours).
+    stacked = im2col_batch_stacked(maps, kernel_size, stride, padding)
     weight_matrix = kernels.reshape(num_kernels, -1)
-    output = weight_matrix @ columns
+    output = weight_matrix[None] @ stacked
     if bias is not None:
         if bias.shape != (num_kernels,):
             raise ValueError(
                 f"bias must have shape ({num_kernels},), got {bias.shape}"
             )
-        output += bias[:, None]
-
-    out_h = conv_output_side(height, kernel_size, padding, stride)
-    out_w = conv_output_side(width, kernel_size, padding, stride)
-    return fold_batch_outputs(output, batch_size, out_h, out_w)
+        output += bias[None, :, None]
+    return output.reshape(batch_size, num_kernels, out_h, out_w)
 
 
 def conv2d_direct(
@@ -170,7 +183,7 @@ def _check_conv_shapes(feature_map: np.ndarray, kernels: np.ndarray) -> None:
 
 
 def relu(values: np.ndarray) -> np.ndarray:
-    """Rectified linear unit: ``max(x, 0)`` elementwise."""
+    """Rectified linear unit: ``max(x, 0)`` elementwise (any shape)."""
     return np.maximum(values, 0.0)
 
 
@@ -179,38 +192,51 @@ def max_pool2d(
 ) -> np.ndarray:
     """Max pooling over non-overlapping or strided square windows.
 
+    Vectorized over every window *and* the optional batch axis: the
+    maxima accumulate over the ``pool_size^2`` strided window-offset
+    slices of the input — whole-array operations with good locality, no
+    per-window Python loop.
+
     Args:
-        feature_map: input of shape ``(C, H, W)``.
+        feature_map: input of shape ``(C, H, W)`` or a minibatch of
+            shape ``(B, C, H, W)``.
         pool_size: pooling window side.
         stride: window step; defaults to ``pool_size``.
 
     Returns:
-        Pooled tensor of shape ``(C, out_h, out_w)``.
+        Pooled tensor of shape ``(C, out_h, out_w)`` or
+        ``(B, C, out_h, out_w)``, matching the input rank.
     """
-    if feature_map.ndim != 3:
+    feature_map = np.asarray(feature_map)
+    if feature_map.ndim not in (3, 4):
         raise ValueError(
-            f"feature map must be (C, H, W), got shape {feature_map.shape}"
+            "feature map must be (C, H, W) or batched (B, C, H, W), got "
+            f"shape {feature_map.shape}"
         )
-    if pool_size <= 0:
-        raise ValueError(f"pool size must be positive, got {pool_size!r}")
     step = stride if stride is not None else pool_size
-    if step <= 0:
-        raise ValueError(f"stride must be positive, got {step!r}")
-    channels, height, width = feature_map.shape
-    out_h = (height - pool_size) // step + 1
-    out_w = (width - pool_size) // step + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"pool window {pool_size} does not fit input {height}x{width}"
-        )
-    output = np.empty((channels, out_h, out_w), dtype=feature_map.dtype)
-    for oy in range(out_h):
-        for ox in range(out_w):
-            window = feature_map[
-                :, oy * step : oy * step + pool_size, ox * step : ox * step + pool_size
-            ]
-            output[:, oy, ox] = window.max(axis=(1, 2))
-    return output
+    height, width = feature_map.shape[-2:]
+    out_h = pool_output_size(height, pool_size, step)
+    out_w = pool_output_size(width, pool_size, step)
+    h_span = (out_h - 1) * step + 1
+    w_span = (out_w - 1) * step + 1
+    # Square max pooling is separable: pool the rows, then the columns
+    # of the row-pooled result — 2 * pool_size accumulation passes
+    # instead of pool_size^2, exact because max is associative.
+    rows: np.ndarray | None = None
+    for dx in range(pool_size):
+        shifted = feature_map[..., :, dx : dx + w_span : step]
+        if rows is None:
+            rows = shifted.copy()
+        else:
+            np.maximum(rows, shifted, out=rows)
+    result: np.ndarray | None = None
+    for dy in range(pool_size):
+        shifted = rows[..., dy : dy + h_span : step, :]
+        if result is None:
+            result = shifted.copy()
+        else:
+            np.maximum(result, shifted, out=result)
+    return result
 
 
 def local_response_norm(
@@ -223,53 +249,91 @@ def local_response_norm(
     """AlexNet-style local response normalization across channels.
 
     ``b_c = a_c / (k + alpha/size * sum_{c'} a_{c'}^2) ** beta`` where the
-    sum runs over ``size`` channels centered on ``c``.
+    sum runs over ``size`` channels centered on ``c``.  Accepts a single
+    ``(C, H, W)`` map or a ``(B, C, H, W)`` minibatch; the channel-window
+    sums accumulate over the window's channel-offset slices — whole-array
+    operations instead of a per-channel Python loop.
     """
-    if feature_map.ndim != 3:
+    feature_map = np.asarray(feature_map)
+    if feature_map.ndim not in (3, 4):
         raise ValueError(
-            f"feature map must be (C, H, W), got shape {feature_map.shape}"
+            "feature map must be (C, H, W) or batched (B, C, H, W), got "
+            f"shape {feature_map.shape}"
         )
     if size <= 0:
         raise ValueError(f"size must be positive, got {size!r}")
-    channels = feature_map.shape[0]
-    squared = feature_map.astype(float) ** 2
+    feature_map = feature_map.astype(float, copy=False)
+    squared = feature_map * feature_map
     half = size // 2
-    denom = np.empty_like(squared)
-    for c in range(channels):
-        lo = max(0, c - half)
-        hi = min(channels, c + half + 1)
-        denom[c] = squared[lo:hi].sum(axis=0)
-    return feature_map / (k + (alpha / size) * denom) ** beta
+    channels = feature_map.shape[-3]
+
+    def channel_slice(array: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        slicer = [slice(None)] * array.ndim
+        slicer[-3] = slice(lo, hi)
+        return array[tuple(slicer)]
+
+    # Accumulate the window's channel-offset slices; out-of-range
+    # offsets clamp at the edges, exactly as the per-channel
+    # formulation's ``[max(0, c - half):min(C, c + half + 1)]``.
+    denom = squared.copy()
+    for delta in range(1, half + 1):
+        channel_slice(denom, 0, channels - delta)[...] += channel_slice(
+            squared, delta, channels
+        )
+        channel_slice(denom, delta, channels)[...] += channel_slice(
+            squared, 0, channels - delta
+        )
+    # Finish in place: denom -> (k + alpha/size * denom) ** beta.
+    denom *= alpha / size
+    denom += k
+    np.power(denom, beta, out=denom)
+    return feature_map / denom
 
 
 def linear(
     inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None
 ) -> np.ndarray:
-    """Fully-connected layer: ``W @ x + b``.
+    """Fully-connected layer: ``W @ x + b``, optionally batched.
 
     Args:
-        inputs: vector of shape ``(in_features,)``.
+        inputs: vector of shape ``(in_features,)`` or a minibatch of
+            shape ``(B, in_features)``.
         weights: matrix of shape ``(out_features, in_features)``.
         bias: optional vector of shape ``(out_features,)``.
+
+    Returns:
+        Vector of shape ``(out_features,)`` or matrix of shape
+        ``(B, out_features)``, matching the input rank.  The batched
+        result is computed as a stacked per-image product, so it is
+        bit-identical to stacking the per-image results.
     """
-    if inputs.ndim != 1:
-        raise ValueError(f"inputs must be a vector, got shape {inputs.shape}")
-    if weights.ndim != 2 or weights.shape[1] != inputs.shape[0]:
+    inputs = np.asarray(inputs)
+    if inputs.ndim not in (1, 2):
+        raise ValueError(
+            f"inputs must be a vector or (batch, features), got shape "
+            f"{inputs.shape}"
+        )
+    if weights.ndim != 2 or weights.shape[1] != inputs.shape[-1]:
         raise ValueError(
             f"weights {weights.shape} incompatible with inputs {inputs.shape}"
         )
-    output = weights @ inputs
+    if bias is not None and bias.shape != (weights.shape[0],):
+        raise ValueError(
+            f"bias must have shape ({weights.shape[0]},), got {bias.shape}"
+        )
+    batched = inputs.ndim == 2
+    stack = inputs if batched else inputs[None]
+    # Stacked matvec (B, 1, in) @ (in, out): every image is an
+    # identically-shaped product, so single-image and batched calls
+    # agree bit-for-bit regardless of batch size.
+    output = (stack[:, None, :] @ weights.T)[:, 0, :]
     if bias is not None:
-        if bias.shape != (weights.shape[0],):
-            raise ValueError(
-                f"bias must have shape ({weights.shape[0]},), got {bias.shape}"
-            )
         output = output + bias
-    return output
+    return output if batched else output[0]
 
 
 def softmax(values: np.ndarray) -> np.ndarray:
-    """Numerically-stable softmax over the last axis."""
+    """Numerically-stable softmax over the last axis (any leading axes)."""
     shifted = values - values.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=-1, keepdims=True)

@@ -107,24 +107,29 @@ def im2col(
     indices = receptive_field_indices(
         height, width, channels, kernel_size, stride, padding
     )
-    return padded.reshape(-1)[indices].T
+    # Downstream GEMMs are layout-sensitive at the last bit, so the
+    # batched engines rely on every image getting the same C-contiguous
+    # layout here (fancy indexing alone would inherit the index array's
+    # memory order).
+    return np.ascontiguousarray(padded.reshape(-1)[indices.T])
 
 
-def im2col_batch(
+def im2col_batch_stacked(
     feature_maps: np.ndarray, kernel_size: int, stride: int, padding: int
 ) -> np.ndarray:
-    """Unroll the receptive fields of a whole minibatch into one matrix.
+    """Unroll a minibatch's receptive fields into a stacked column tensor.
 
-    The columns are image-major: the first ``num_locations`` columns
-    belong to image 0, the next to image 1, and so on.  This ordering is
-    the contract :func:`fold_batch_outputs` inverts, and both the
-    photonic and the NumPy batched conv engines rely on it.
+    The primary batched gather: image ``b``'s slice ``[b]`` is exactly
+    (bit-for-bit, and in the same C-contiguous layout) what
+    :func:`im2col` returns for that image, so stacked matrix products
+    over the result reproduce per-image GEMMs identically.  Both the
+    photonic and the NumPy batched conv engines build on this.
 
     Args:
         feature_maps: minibatch of shape ``(B, C, H, W)``.
 
     Returns:
-        Array of shape ``(C * m * m, B * num_locations)``.
+        Array of shape ``(B, C * m * m, num_locations)``.
 
     Raises:
         ValueError: if the batch is not 4-D or is empty.
@@ -136,8 +141,45 @@ def im2col_batch(
         )
     if maps.shape[0] == 0:
         raise ValueError("batch must contain at least one image")
-    return np.concatenate(
-        [im2col(image, kernel_size, stride, padding) for image in maps], axis=1
+    batch_size, channels, height, width = maps.shape
+    if padding > 0:
+        maps = np.pad(
+            maps,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    indices = receptive_field_indices(
+        height, width, channels, kernel_size, stride, padding
+    )
+    # A C-contiguous index makes the gathered result C-contiguous too
+    # (fancy indexing inherits the index array's memory order).
+    return maps.reshape(batch_size, -1)[:, np.ascontiguousarray(indices.T)]
+
+
+def im2col_batch(
+    feature_maps: np.ndarray, kernel_size: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unroll the receptive fields of a whole minibatch into one matrix.
+
+    The columns are image-major: the first ``num_locations`` columns
+    belong to image 0, the next to image 1, and so on.  This ordering is
+    the contract :func:`fold_batch_outputs` inverts.  The hot batched
+    engines use :func:`im2col_batch_stacked` directly (same gather, no
+    transpose).
+
+    Args:
+        feature_maps: minibatch of shape ``(B, C, H, W)``.
+
+    Returns:
+        Array of shape ``(C * m * m, B * num_locations)``.
+
+    Raises:
+        ValueError: if the batch is not 4-D or is empty.
+    """
+    stacked = im2col_batch_stacked(feature_maps, kernel_size, stride, padding)
+    batch_size, field_size, num_locations = stacked.shape
+    return np.ascontiguousarray(stacked.transpose(1, 0, 2)).reshape(
+        field_size, batch_size * num_locations
     )
 
 

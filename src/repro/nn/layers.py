@@ -4,6 +4,13 @@ Each layer knows its parameters, can infer its output shape from an input
 shape (so whole networks can be shape-checked without running data), and
 exposes ``conv_spec()`` where applicable so the PCNNA analytical models
 can consume a network directly.
+
+Every layer is also *batch-native*: ``forward_batch`` pushes a whole
+``(B, ...)`` minibatch through the layer in single array operations, and
+is guaranteed bit-identical to stacking per-image ``forward`` results.
+Layers whose input rank is unambiguous (everything except
+:class:`Flatten`) additionally accept a leading batch axis directly in
+``forward``.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ import abc
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.shapes import ConvLayerSpec, conv_output_side
+from repro.nn.shapes import ConvLayerSpec, conv_output_side, pool_output_size
 
 
 class Layer(abc.ABC):
@@ -32,6 +39,15 @@ class Layer(abc.ABC):
         Raises:
             ValueError: if ``input_shape`` is incompatible with the layer.
         """
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute outputs for a minibatch with a leading batch axis.
+
+        The base implementation stacks per-image ``forward`` calls;
+        every built-in layer overrides it with a vectorized whole-batch
+        implementation that is bit-identical to the stacked loop.
+        """
+        return np.stack([self.forward(image) for image in inputs])
 
     def num_parameters(self) -> int:
         """Number of learnable parameters (0 for stateless layers)."""
@@ -95,8 +111,15 @@ class Conv2D(Layer):
         return self.weights.shape[2]
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        output = F.conv2d(inputs, self.weights, self.stride, self.padding, self.bias)
-        return output
+        inputs = np.asarray(inputs)
+        if inputs.ndim == 4:
+            return self.forward_batch(inputs)
+        return F.conv2d(inputs, self.weights, self.stride, self.padding, self.bias)
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return F.conv2d_batch(
+            inputs, self.weights, self.stride, self.padding, self.bias
+        )
 
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         if len(input_shape) != 3 or input_shape[0] != self.in_channels:
@@ -141,6 +164,9 @@ class ReLU(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         return F.relu(inputs)
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return F.relu(inputs)
+
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         return input_shape
 
@@ -162,16 +188,17 @@ class MaxPool2D(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         return F.max_pool2d(inputs, self.pool_size, self.stride)
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(inputs, self.pool_size, self.stride)
+
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         if len(input_shape) != 3:
             raise ValueError(f"{self.name}: expected (C, H, W), got {input_shape}")
         channels, height, width = input_shape
-        out_h = (height - self.pool_size) // self.stride + 1
-        out_w = (width - self.pool_size) // self.stride + 1
-        if out_h <= 0 or out_w <= 0:
-            raise ValueError(
-                f"{self.name}: window {self.pool_size} does not fit {input_shape}"
-            )
+        # Same geometry helper as the functional op, so the two cannot
+        # diverge in either the out-size math or the error messages.
+        out_h = pool_output_size(height, self.pool_size, self.stride)
+        out_w = pool_output_size(width, self.pool_size, self.stride)
         return (channels, out_h, out_w)
 
 
@@ -199,6 +226,11 @@ class LocalResponseNorm(Layer):
             inputs, self.size, self.alpha, self.beta, self.k
         )
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return F.local_response_norm(
+            inputs, self.size, self.alpha, self.beta, self.k
+        )
+
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         return input_shape
 
@@ -211,6 +243,12 @@ class Flatten(Layer):
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         return inputs.reshape(-1)
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        # The only layer whose input rank is ambiguous: a (C, H, W)
+        # tensor could itself be a batch of matrices, so ``forward``
+        # cannot auto-detect batching — callers choose explicitly.
+        return inputs.reshape(inputs.shape[0], -1)
 
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         size = 1
@@ -250,6 +288,9 @@ class Dense(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         return F.linear(inputs, self.weights, self.bias)
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return F.linear(inputs, self.weights, self.bias)
+
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         if input_shape != (self.in_features,):
             raise ValueError(
@@ -271,6 +312,9 @@ class Softmax(Layer):
         self.name = name
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return F.softmax(inputs)
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
         return F.softmax(inputs)
 
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:

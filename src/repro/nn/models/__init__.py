@@ -1,7 +1,13 @@
 """Reference CNN model builders (random, seeded weights)."""
 
 from repro.nn.models.alexnet import build_alexnet
+from repro.nn.models.googlenet import build_googlenet_stem
 from repro.nn.models.lenet import build_lenet5
 from repro.nn.models.vgg import build_vgg16
 
-__all__ = ["build_alexnet", "build_lenet5", "build_vgg16"]
+__all__ = [
+    "build_alexnet",
+    "build_googlenet_stem",
+    "build_lenet5",
+    "build_vgg16",
+]

@@ -90,6 +90,29 @@ class Network:
             current = layer.forward(current)
         return current
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Run a whole ``(B, *input_shape)`` minibatch through the network.
+
+        Every layer processes the full batch in single array operations
+        (``Layer.forward_batch``); the result is bit-identical to
+        stacking per-image :meth:`forward` outputs.
+
+        Raises:
+            ValueError: if ``inputs`` is not a batch of ``input_shape``.
+        """
+        inputs = np.asarray(inputs)
+        if inputs.ndim != len(self.input_shape) + 1 or (
+            inputs.shape[1:] != self.input_shape
+        ):
+            raise ValueError(
+                f"{self.name}: expected batched input shape "
+                f"(B, *{self.input_shape}), got {inputs.shape}"
+            )
+        current = inputs
+        for layer in self.layers:
+            current = layer.forward_batch(current)
+        return current
+
     def forward_recorded(self, inputs: np.ndarray) -> list[LayerActivation]:
         """Run the network, recording every layer's output."""
         if inputs.shape != self.input_shape:

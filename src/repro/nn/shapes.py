@@ -140,6 +140,28 @@ class ConvLayerSpec:
         )
 
 
+def pool_output_size(input_size: int, pool_size: int, stride: int) -> int:
+    """Output length of a 1-D pooling sweep: ``floor((n - pool) / stride) + 1``.
+
+    The single source of truth for pooling geometry: both the functional
+    :func:`repro.nn.functional.max_pool2d` and the
+    :class:`repro.nn.layers.MaxPool2D` shape inference call this helper,
+    so their validity checks and error messages cannot diverge.
+
+    Raises:
+        ValueError: if sizes are non-positive or the window does not fit.
+    """
+    if pool_size <= 0:
+        raise ValueError(f"pool size must be positive, got {pool_size!r}")
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride!r}")
+    if input_size < pool_size:
+        raise ValueError(
+            f"pool window {pool_size} does not fit input side {input_size}"
+        )
+    return (input_size - pool_size) // stride + 1
+
+
 def conv_output_side(n: int, m: int, p: int, s: int) -> int:
     """Output side of a square convolution: ``floor((n + 2p - m) / s) + 1``.
 

@@ -10,11 +10,16 @@ the same code path can run in two modes:
   inter-channel crosstalk are injected, for the robustness ablations.
 
 A shared :class:`numpy.random.Generator` keeps noisy runs reproducible.
+Because that generator is *stateful*, two identical noisy computations on
+the same config consume different slices of the stream; engines that
+need call-level reproducibility take a :meth:`NoiseConfig.fork` — a fresh
+config whose generator restarts from the configured seed — once per
+call, so identical calls draw identical noise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -62,6 +67,22 @@ class NoiseConfig:
         """Reset the random generator to a fresh seed."""
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def fork(self, key: int | None = None) -> "NoiseConfig":
+        """A copy of this config with a freshly-seeded generator.
+
+        The copy shares every switch and magnitude but owns its own
+        :class:`numpy.random.Generator`, restarted deterministically:
+        from ``seed`` itself (``key=None``) or from ``(seed, key)`` when
+        distinct reproducible streams are needed.  The parent config's
+        stream is left untouched.  This is the per-call reseed path used
+        by :class:`repro.core.accelerator.PhotonicConvolution`, making
+        two identical noisy calls produce identical results.
+        """
+        forked = replace(self)
+        if key is not None:
+            forked._rng = np.random.default_rng([self.seed, key])
+        return forked
 
     @property
     def shot_noise_active(self) -> bool:

@@ -9,6 +9,11 @@ from repro.workloads.googlenet import (
     googlenet_conv_specs,
     inception_module_specs,
 )
+from repro.workloads.serving import (
+    SERVING_NETWORKS,
+    serving_batch,
+    serving_network,
+)
 from repro.workloads.suites import (
     LENET5_CONV_LAYERS,
     VGG16_CONV_LAYERS,
@@ -23,6 +28,9 @@ __all__ = [
     "alexnet_layer",
     "googlenet_conv_specs",
     "inception_module_specs",
+    "SERVING_NETWORKS",
+    "serving_batch",
+    "serving_network",
     "LENET5_CONV_LAYERS",
     "VGG16_CONV_LAYERS",
     "lenet5_conv_specs",

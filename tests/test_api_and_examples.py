@@ -32,6 +32,7 @@ FAST_EXAMPLES = [
     "noise_robustness.py",
     "photonic_lenet_inference.py",
     "alexnet_paper_evaluation.py",
+    "batched_serving.py",
 ]
 
 

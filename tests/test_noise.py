@@ -65,6 +65,39 @@ class TestRng:
         noise.reseed(0)
         assert noise.rng.normal() == first
 
+    def test_fork_restarts_from_seed(self):
+        noise = NoiseConfig(enabled=True, seed=9)
+        first = noise.rng.normal()
+        # The parent stream has advanced, but every fork restarts.
+        assert noise.fork().rng.normal() == first
+        assert noise.fork().rng.normal() == first
+
+    def test_fork_leaves_parent_stream_untouched(self):
+        noise = NoiseConfig(enabled=True, seed=9)
+        fresh = NoiseConfig(enabled=True, seed=9)
+        noise.fork().rng.normal()
+        noise.fork().rng.normal()
+        assert noise.rng.normal() == fresh.rng.normal()
+
+    def test_fork_preserves_switches(self):
+        noise = NoiseConfig(
+            enabled=True,
+            thermal_noise=False,
+            ring_tuning_sigma=0.01,
+            seed=4,
+        )
+        forked = noise.fork()
+        assert forked.enabled and not forked.thermal_noise
+        assert forked.ring_tuning_sigma == 0.01
+        assert forked.seed == 4
+
+    def test_fork_keys_give_distinct_reproducible_streams(self):
+        noise = NoiseConfig(enabled=True, seed=4)
+        a = noise.fork(key=0).rng.normal()
+        b = noise.fork(key=1).rng.normal()
+        assert a != b
+        assert noise.fork(key=0).rng.normal() == a
+
 
 class TestFactories:
     def test_ideal_factory(self):
