@@ -29,7 +29,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
     extras_require={
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

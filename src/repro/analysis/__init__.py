@@ -3,10 +3,13 @@
 from repro.analysis.export import results_to_json, series_to_csv, write_text
 from repro.analysis.figures import ascii_line_plot, log_bar_chart
 from repro.analysis.sweeps import (
+    SERVING_SWEEP_HEADER,
+    ServingSweepPoint,
     SweepPoint,
     sweep_fast_clock,
     sweep_kernel_count,
     sweep_num_dacs,
+    sweep_serving_policies,
     sweep_stride,
 )
 from repro.analysis.tables import (
@@ -23,10 +26,13 @@ __all__ = [
     "write_text",
     "ascii_line_plot",
     "log_bar_chart",
+    "SERVING_SWEEP_HEADER",
+    "ServingSweepPoint",
     "SweepPoint",
     "sweep_fast_clock",
     "sweep_kernel_count",
     "sweep_num_dacs",
+    "sweep_serving_policies",
     "sweep_stride",
     "format_count",
     "format_orders_of_magnitude",

@@ -8,12 +8,17 @@ explicit; these sweeps quantify their impact:
 * fast-clock frequency — the eq. 7 optical-core scaling;
 * stride — eq. 8's front-end load is proportional to s;
 * kernel count — PCNNA's headline property: layer time is flat in K
-  while ring count grows linearly (paper section V-B).
+  while ring count grows linearly (paper section V-B);
+* serving policy x core count — the request-level simulator's policy
+  comparison (:func:`sweep_serving_policies`), quantifying what dynamic
+  batching and pipeline width buy under one shared traffic trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.core.analytical import (
     full_system_time_s,
@@ -21,6 +26,12 @@ from repro.core.analytical import (
     optical_core_time_s,
 )
 from repro.core.config import PCNNAConfig
+from repro.core.traffic import (
+    BatchingPolicy,
+    PipelineServiceModel,
+    ServingReport,
+    ServingSimulator,
+)
 from repro.nn.shapes import ConvLayerSpec
 
 
@@ -101,6 +112,110 @@ def sweep_stride(
                 rings=microrings_filtered(swept_spec),
             )
         )
+    return points
+
+
+@dataclass(frozen=True)
+class ServingSweepPoint:
+    """One (policy, core count) cell of a serving-policy sweep.
+
+    Attributes:
+        policy: the batching policy's name.
+        num_cores: pipeline width of the cell.
+        report: the full simulation result (percentiles, utilization,
+            batch records) for drill-down.
+    """
+
+    policy: str
+    num_cores: int
+    report: ServingReport
+
+    @property
+    def throughput_rps(self) -> float:
+        """Sustained completion rate."""
+        return self.report.throughput_rps
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile request latency."""
+        return self.report.p99_s
+
+    def row(self) -> list[str]:
+        """The cell formatted for a comparison table."""
+        report = self.report
+        return [
+            self.policy,
+            str(self.num_cores),
+            f"{report.throughput_rps:,.0f}",
+            f"{report.p50_s * 1e6:.0f}",
+            f"{report.p99_s * 1e6:.0f}",
+            f"{report.mean_batch_size:.1f}",
+            f"{max(report.core_utilization):.0%}",
+        ]
+
+
+SERVING_SWEEP_HEADER = [
+    "policy",
+    "cores",
+    "req/s",
+    "p50 (us)",
+    "p99 (us)",
+    "batch",
+    "peak util",
+]
+"""Column labels matching :meth:`ServingSweepPoint.row`."""
+
+
+def sweep_serving_policies(
+    specs: list[ConvLayerSpec],
+    policies: list[BatchingPolicy],
+    core_counts: list[int],
+    arrival_s: np.ndarray,
+    config: PCNNAConfig | None = None,
+    clamp_cores: bool = False,
+) -> list[ServingSweepPoint]:
+    """Simulate every (policy, core count) pair over one shared trace.
+
+    Feeding the identical arrival trace to every cell makes the cells
+    directly comparable: differences in percentile latency and
+    throughput are attributable to the policy and the pipeline width
+    alone.
+
+    Args:
+        specs: the served network's conv layers.
+        policies: batching policies to compare.
+        core_counts: pipeline widths to compare.
+        arrival_s: the shared request-arrival trace.
+        config: hardware configuration.
+        clamp_cores: clamp oversized core counts to ``len(specs)``
+            instead of raising (duplicate clamped cells are kept).
+
+    Returns:
+        One :class:`ServingSweepPoint` per pair, policies varying
+        fastest.
+
+    Raises:
+        ValueError: on empty specs/policies/core counts or an invalid
+            trace.
+    """
+    if not policies:
+        raise ValueError("need at least one batching policy")
+    if not core_counts:
+        raise ValueError("need at least one core count")
+    points = []
+    for num_cores in core_counts:
+        model = PipelineServiceModel.from_specs(
+            specs, num_cores, config, clamp_cores=clamp_cores
+        )
+        for policy in policies:
+            report = ServingSimulator(model, policy).run(arrival_s)
+            points.append(
+                ServingSweepPoint(
+                    policy=policy.name,
+                    num_cores=model.num_cores,
+                    report=report,
+                )
+            )
     return points
 
 

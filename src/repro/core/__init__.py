@@ -57,6 +57,7 @@ from repro.core.multicore import (
     balanced_partition,
     contiguous_partition,
     pipeline_speedup,
+    validate_num_cores,
 )
 from repro.core.pipeline import (
     PipelineResult,
@@ -82,6 +83,15 @@ from repro.core.serving import (
     PipelineStage,
     run_network_pipelined,
     stage_layer_slices,
+)
+from repro.core.traffic import (
+    BatchingPolicy,
+    BatchRecord,
+    PipelineServiceModel,
+    ServingReport,
+    ServingSimulator,
+    replay_on_engine,
+    simulate_serving,
 )
 from repro.core.timing import (
     BatchLayerTimingResult,
@@ -142,6 +152,7 @@ __all__ = [
     "balanced_partition",
     "contiguous_partition",
     "pipeline_speedup",
+    "validate_num_cores",
     "SparseMappingReport",
     "prune_kernels",
     "pruned_conv_error",
@@ -161,6 +172,13 @@ __all__ = [
     "PipelineStage",
     "run_network_pipelined",
     "stage_layer_slices",
+    "BatchingPolicy",
+    "BatchRecord",
+    "PipelineServiceModel",
+    "ServingReport",
+    "ServingSimulator",
+    "replay_on_engine",
+    "simulate_serving",
     "BatchLayerTimingResult",
     "LayerTimingResult",
     "StageBreakdown",

@@ -240,10 +240,16 @@ class PhotonicConvolution:
             normalized = self.config.input_dac.quantize(normalized)
 
         if self._resolved_method() == "matrix":
-            # Stacked per-image GEMM: each image's slice has the exact
-            # shape and layout a single-image call issues, so batched
-            # execution is bit-identical to running the images one by one.
-            raw = weight_matrix[None] @ normalized
+            # One 2-D GEMM per image — the same (K, F) @ (F, L) call a
+            # single-image run issues, so batched execution is
+            # bit-identical to running the images one by one.  A
+            # broadcast batched matmul is not: NumPy may round the
+            # stacked product differently depending on the batch size.
+            raw = np.empty(
+                (batch_size, num_kernels, num_locations)
+            )
+            for index in range(batch_size):
+                np.matmul(weight_matrix, normalized[index], out=raw[index])
         else:
             # Wave-major stack: wave b * L + l is image b's location l,
             # matching the image-major column order of im2col_batch.

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.analytical import full_system_time_s
 from repro.core.config import PCNNAConfig
 from repro.nn.shapes import ConvLayerSpec
@@ -64,6 +66,48 @@ class PipelinePartition:
         """Mean core time / bottleneck time; 1.0 is perfectly balanced."""
         mean = sum(self.core_times_s) / self.num_cores
         return mean / self.bottleneck_s
+
+
+def validate_num_cores(
+    num_cores: int, num_layers: int, clamp: bool = False
+) -> int:
+    """Validate a pipeline core count against the layers it must split.
+
+    Every entry point that partitions layers over cores funnels through
+    this check, so an invalid request fails here with a clear message
+    instead of deep inside the DP partitioner (a float ``num_cores``
+    used to surface as a ``TypeError`` from ``range``).
+
+    Args:
+        num_cores: requested pipeline width.
+        num_layers: layers available to split (must be >= 1).
+        clamp: return ``min(num_cores, num_layers)`` instead of raising
+            when more cores than layers are requested — convenient for
+            sweeps that scan wide core counts across small networks.
+
+    Returns:
+        The validated (possibly clamped) core count.
+
+    Raises:
+        ValueError: if ``num_cores`` is not an integer, is < 1, or
+            exceeds ``num_layers`` with ``clamp`` off.
+    """
+    if isinstance(num_cores, bool) or not isinstance(
+        num_cores, (int, np.integer)
+    ):
+        raise ValueError(
+            f"core count must be an integer, got {num_cores!r}"
+        )
+    if num_cores < 1:
+        raise ValueError(f"core count must be >= 1, got {num_cores!r}")
+    if num_cores > num_layers:
+        if clamp:
+            return num_layers
+        raise ValueError(
+            f"core count must be in [1, {num_layers}] (one core needs at "
+            f"least one layer), got {num_cores!r}"
+        )
+    return int(num_cores)
 
 
 def layer_times(
@@ -120,12 +164,12 @@ def balanced_partition(
     O(cores * layers^2) — layers are few).
 
     Raises:
-        ValueError: if ``num_cores`` is not in [1, len(specs)].
+        ValueError: if ``specs`` is empty or ``num_cores`` is not an
+            integer in [1, len(specs)].
     """
-    if not 1 <= num_cores <= len(specs):
-        raise ValueError(
-            f"core count must be in [1, {len(specs)}], got {num_cores!r}"
-        )
+    if not specs:
+        raise ValueError("need at least one layer to partition over cores")
+    num_cores = validate_num_cores(num_cores, len(specs))
     times = layer_times(specs, config)
     num_layers = len(times)
     prefix = [0.0]

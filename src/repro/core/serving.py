@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.core.accelerator import PCNNA
 from repro.core.config import PCNNAConfig
-from repro.core.multicore import PipelinePartition, balanced_partition
+from repro.core.multicore import (
+    PipelinePartition,
+    balanced_partition,
+    validate_num_cores,
+)
 from repro.nn.layers import Conv2D
 from repro.nn.network import Network
 
@@ -116,6 +120,7 @@ def stage_layer_slices(
     network: Network,
     num_cores: int,
     config: PCNNAConfig | None = None,
+    clamp_cores: bool = False,
 ) -> tuple[PipelinePartition, tuple[tuple[int, int], ...]]:
     """Partition a network's layers into contiguous per-core slices.
 
@@ -124,19 +129,29 @@ def stage_layer_slices(
     bottleneck core's DAC-bound time); every non-conv layer is assigned
     to the core of the nearest preceding conv layer.
 
+    Args:
+        network: the network to split.
+        num_cores: pipeline width; validated up front against the
+            number of conv layers.
+        config: hardware configuration for the partitioning weights.
+        clamp_cores: shrink an oversized ``num_cores`` to the conv-layer
+            count instead of raising.
+
     Returns:
         The analytical partition over the conv layers, and per-core
         ``(start, end)`` index ranges into ``network.layers``.
 
     Raises:
         ValueError: if the network has no conv layers, or ``num_cores``
-            is not in ``[1, number of conv layers]``.
+            is not an integer in ``[1, number of conv layers]`` (with
+            ``clamp_cores`` off).
     """
     specs = network.conv_specs()
     if not specs:
         raise ValueError(
             f"{network.name}: no conv layers to pipeline over cores"
         )
+    num_cores = validate_num_cores(num_cores, len(specs), clamp=clamp_cores)
     partition = balanced_partition(specs, num_cores, config)
     conv_indices = [
         index
@@ -156,6 +171,7 @@ def run_network_pipelined(
     num_cores: int,
     config: PCNNAConfig | None = None,
     accelerator: PCNNA | None = None,
+    clamp_cores: bool = False,
 ) -> PipelinedRunResult:
     """Run a minibatch through a network pipelined over PCNNA cores.
 
@@ -171,11 +187,13 @@ def run_network_pipelined(
         inputs: a ``(B, *network.input_shape)`` minibatch, or one input
             of ``network.input_shape``.
         num_cores: cores in the pipeline, between 1 and the number of
-            conv layers.
+            conv layers (validated up front).
         config: hardware configuration for both execution and the
             analytical partitioning (defaults to the paper's).
         accelerator: optional pre-built :class:`PCNNA` to execute on;
             overrides ``config`` for execution.
+        clamp_cores: shrink an oversized ``num_cores`` to the conv-layer
+            count instead of raising.
 
     Returns:
         A :class:`PipelinedRunResult` with the outputs (bit-identical to
@@ -183,16 +201,24 @@ def run_network_pipelined(
         report.
 
     Raises:
-        ValueError: on shape mismatches or invalid core counts.
+        ValueError: on shape mismatches, an empty minibatch, or invalid
+            core counts.
     """
     engine = accelerator if accelerator is not None else PCNNA(config)
     if config is None:
         # Partition and report with the hardware that actually executes.
         config = engine.config
-    partition, slices = stage_layer_slices(network, num_cores, config)
+    partition, slices = stage_layer_slices(
+        network, num_cores, config, clamp_cores=clamp_cores
+    )
 
     inputs = np.asarray(inputs, dtype=float)
     batched = inputs.ndim == len(network.input_shape) + 1
+    if batched and inputs.shape[0] == 0:
+        raise ValueError(
+            f"{network.name}: minibatch must contain at least one image, "
+            f"got shape {inputs.shape}"
+        )
     batch_size = inputs.shape[0] if batched else 1
 
     current = inputs

@@ -1,0 +1,529 @@
+"""Request-level serving simulation with dynamic batching.
+
+The pipelined minibatch runner (:mod:`repro.core.serving`) answers "how
+fast is one pre-formed minibatch".  Serving real traffic is a different
+question: requests arrive one at a time over a long horizon, queue while
+the accelerator is busy, and care about *their own* enqueue-to-completion
+latency, not the batch's.  This module closes that loop with a
+discrete-event simulator:
+
+* arrival traces come from :mod:`repro.workloads.traffic` (Poisson,
+  bursty MMPP, diurnal ramp — all seeded and reproducible);
+* a :class:`BatchingPolicy` decides when the queue head stops waiting
+  for batch-mates (``max_batch`` / ``max_wait_s``, the knobs of every
+  production inference server);
+* service times come from :class:`PipelineServiceModel`, the same
+  per-core decomposition the executable runner uses: each dispatched
+  batch walks the cores in pipeline order, and a core is busy for its
+  slice's weight-programming time plus ``batch * conv`` time.  Weight
+  loads are paid *per dispatch* — exactly what
+  :func:`~repro.core.serving.run_network_pipelined` does when it
+  programs the banks for every minibatch — which is why batching moves
+  throughput at all: a batch of 32 pays the multi-hundred-microsecond
+  weight load once instead of 32 times.  The weight-stationary
+  steady state of :mod:`repro.core.multicore` is the ``max_batch →
+  inf`` limit of this model.
+* consecutive batches overlap across cores (core 0 accepts the next
+  batch while core 1 still drains the previous one), so the simulator
+  reproduces both the pipeline-fill latency and the steady-state
+  bottleneck rate of the analytical model.
+
+The simulated clock is decoupled from wall time and every input is
+seeded, so a fixed seed yields bit-identical percentile latencies on
+every run.  :func:`replay_on_engine` re-executes a simulated schedule's
+batches on the *real* batched photonic engine, proving the schedule is
+servable: outputs are bit-identical to running every request alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.analytical import weight_load_time_s
+from repro.core.config import PCNNAConfig
+from repro.core.multicore import (
+    PipelinePartition,
+    balanced_partition,
+    validate_num_cores,
+)
+from repro.core.serving import run_network_pipelined
+from repro.nn.network import Network
+from repro.nn.shapes import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """When does the queue head stop waiting for batch-mates?
+
+    The scheduler forms a batch at the moment the pipeline's first core
+    is free, taking every queued request up to ``max_batch``; if fewer
+    are queued, the head is allowed to wait up to ``max_wait_s`` after
+    its arrival for more to show up.  ``max_wait_s = 0`` dispatches
+    whatever is queued immediately (latency-greedy); ``max_wait_s =
+    inf`` holds out for a full batch (throughput-greedy, the fixed-size
+    policy; the end of the trace flushes a final partial batch).
+
+    Attributes:
+        name: label used in reports and sweep tables.
+        max_batch: largest batch the scheduler may form.
+        max_wait_s: longest the queue head may wait for batch-mates
+            after its arrival.
+    """
+
+    name: str
+    max_batch: int
+    max_wait_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(
+                f"{self.name}: max batch must be >= 1, got {self.max_batch!r}"
+            )
+        if self.max_wait_s < 0.0 or math.isnan(self.max_wait_s):
+            raise ValueError(
+                f"{self.name}: max wait must be >= 0, got {self.max_wait_s!r}"
+            )
+
+    @classmethod
+    def fifo(cls) -> "BatchingPolicy":
+        """Batch-free baseline: every request is dispatched alone."""
+        return cls(name="fifo-1", max_batch=1, max_wait_s=0.0)
+
+    @classmethod
+    def dynamic(cls, max_batch: int, max_wait_s: float) -> "BatchingPolicy":
+        """Production dynamic batching: size cap plus wait-time cap."""
+        return cls(
+            name=f"dynamic-{max_batch}@{max_wait_s:.3g}s",
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+        )
+
+    @classmethod
+    def fixed(cls, batch: int) -> "BatchingPolicy":
+        """Hold out for a full ``batch`` no matter how long it takes."""
+        return cls(name=f"fixed-{batch}", max_batch=batch, max_wait_s=math.inf)
+
+
+@dataclass(frozen=True)
+class PipelineServiceModel:
+    """Per-core service times of a batch dispatched to the pipeline.
+
+    A dispatched batch of ``B`` requests occupies core ``k`` for
+    ``weight_load_s[k] + B * conv_time_s[k]`` and is handed to the next
+    core whole, matching :func:`~repro.core.serving.run_network_pipelined`
+    stage-by-stage execution.
+
+    Attributes:
+        partition: the balanced conv-layer partition the cores implement.
+        weight_load_s: per-core weight-programming time, paid once per
+            dispatched batch.
+        conv_time_s: per-core per-image conv time (the partition's
+            core times).
+    """
+
+    partition: PipelinePartition
+    weight_load_s: tuple[float, ...]
+    conv_time_s: tuple[float, ...]
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: list[ConvLayerSpec],
+        num_cores: int,
+        config: PCNNAConfig | None = None,
+        clamp_cores: bool = False,
+    ) -> "PipelineServiceModel":
+        """Build the model from conv-layer specs.
+
+        Args:
+            specs: the network's conv layers, in order.
+            num_cores: pipeline cores; validated against ``len(specs)``.
+            config: hardware configuration (defaults to the paper's).
+            clamp_cores: clamp an oversized ``num_cores`` to
+                ``len(specs)`` instead of raising.
+
+        Raises:
+            ValueError: if ``specs`` is empty or ``num_cores`` is
+                invalid (and not clamped).
+        """
+        if not specs:
+            raise ValueError("need at least one conv layer to serve")
+        cores = validate_num_cores(num_cores, len(specs), clamp=clamp_cores)
+        cfg = config if config is not None else PCNNAConfig()
+        partition = balanced_partition(specs, cores, cfg)
+        weight_loads = tuple(
+            sum(weight_load_time_s(spec, cfg) for spec in specs[start:end])
+            for start, end in partition.slices
+        )
+        return cls(
+            partition=partition,
+            weight_load_s=weight_loads,
+            conv_time_s=partition.core_times_s,
+        )
+
+    @classmethod
+    def from_network(
+        cls,
+        network: Network,
+        num_cores: int,
+        config: PCNNAConfig | None = None,
+        clamp_cores: bool = False,
+    ) -> "PipelineServiceModel":
+        """Build the model from an executable network's conv layers."""
+        return cls.from_specs(
+            network.conv_specs(), num_cores, config, clamp_cores
+        )
+
+    @property
+    def num_cores(self) -> int:
+        """Cores in the pipeline."""
+        return len(self.conv_time_s)
+
+    def core_busy_s(self, core: int, batch: int) -> float:
+        """Time one dispatched batch occupies ``core``."""
+        return self.weight_load_s[core] + batch * self.conv_time_s[core]
+
+    def batch_makespan_s(self, batch: int) -> float:
+        """Time one batch takes from dispatch to completion (all cores,
+        no contention from other batches)."""
+        return sum(self.core_busy_s(core, batch) for core in range(self.num_cores))
+
+    def capacity_rps(self, batch: int) -> float:
+        """Steady-state throughput when every dispatch carries ``batch``
+        requests: the bottleneck core limits the dispatch rate."""
+        slowest = max(
+            self.core_busy_s(core, batch) for core in range(self.num_cores)
+        )
+        return batch / slowest
+
+    @property
+    def stationary_capacity_rps(self) -> float:
+        """The weight-stationary limit (``batch -> inf``): one image per
+        bottleneck conv interval, :mod:`repro.core.multicore`'s rate."""
+        return self.partition.images_per_s
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch of the simulated schedule.
+
+    Attributes:
+        index: dispatch order.
+        first_request: index of the batch's first request (requests are
+            batched in arrival order, so the batch covers
+            ``[first_request, first_request + size)``).
+        size: number of requests in the batch.
+        dispatch_s: when the scheduler released the batch to core 0.
+        completion_s: when the last core finished the batch.
+    """
+
+    index: int
+    first_request: int
+    size: int
+    dispatch_s: float
+    completion_s: float
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything measured over one simulated serving run.
+
+    Attributes:
+        policy: the batching policy that produced the schedule.
+        num_cores: pipeline width.
+        arrival_s: per-request arrival times (the input trace).
+        dispatch_s: per-request batch-dispatch times.
+        completion_s: per-request completion times.
+        batches: the dispatched batches, in order.
+        core_busy_s: per-core total busy time.
+    """
+
+    policy: BatchingPolicy
+    num_cores: int
+    arrival_s: np.ndarray
+    dispatch_s: np.ndarray
+    completion_s: np.ndarray
+    batches: tuple[BatchRecord, ...]
+    core_busy_s: tuple[float, ...]
+
+    @property
+    def num_requests(self) -> int:
+        """Requests served."""
+        return int(self.arrival_s.size)
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Per-request enqueue-to-completion latency."""
+        return self.completion_s - self.arrival_s
+
+    def latency_percentile_s(self, percentile: float) -> float:
+        """A latency percentile (linear interpolation, deterministic)."""
+        return float(np.percentile(self.latencies_s, percentile))
+
+    @property
+    def p50_s(self) -> float:
+        """Median latency."""
+        return self.latency_percentile_s(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile latency."""
+        return self.latency_percentile_s(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile latency."""
+        return self.latency_percentile_s(99.0)
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion."""
+        return float(self.completion_s.max() - self.arrival_s[0])
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second over the makespan."""
+        return self.num_requests / self.makespan_s
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size."""
+        return self.num_requests / len(self.batches)
+
+    @property
+    def core_utilization(self) -> tuple[float, ...]:
+        """Per-core busy fraction of the makespan."""
+        span = self.makespan_s
+        return tuple(busy / span for busy in self.core_busy_s)
+
+    @cached_property
+    def _queue_depth_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted event times and the queue depth after each event.
+
+        Arrivals sort ahead of the dispatch that consumes them at time
+        ties (a request arriving exactly at a dispatch instant is
+        eligible for that batch).  Cached: every depth metric reads it.
+        """
+        times = np.concatenate(
+            [self.arrival_s, [batch.dispatch_s for batch in self.batches]]
+        )
+        deltas = np.concatenate(
+            [
+                np.ones(self.num_requests),
+                [-float(batch.size) for batch in self.batches],
+            ]
+        )
+        order = np.argsort(times, kind="stable")
+        return times[order], np.cumsum(deltas[order])
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Largest number of requests simultaneously waiting."""
+        _, depth = self._queue_depth_profile
+        return int(depth.max())
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean queue depth over the event horizon."""
+        times, depth = self._queue_depth_profile
+        spans = np.diff(times)
+        total = times[-1] - times[0]
+        if total <= 0.0:
+            return 0.0
+        return float((depth[:-1] * spans).sum() / total)
+
+    def describe(self) -> str:
+        """A one-run summary block."""
+        util = ", ".join(f"{u:.0%}" for u in self.core_utilization)
+        return "\n".join(
+            [
+                f"{self.policy.name} over {self.num_cores} cores: "
+                f"{self.num_requests} requests in {len(self.batches)} "
+                f"batches (mean {self.mean_batch_size:.1f})",
+                f"  throughput {self.throughput_rps:,.0f} req/s | "
+                f"latency p50 {self.p50_s * 1e6:.1f} us, "
+                f"p95 {self.p95_s * 1e6:.1f} us, "
+                f"p99 {self.p99_s * 1e6:.1f} us",
+                f"  queue depth mean {self.mean_queue_depth:.1f}, "
+                f"max {self.max_queue_depth} | core utilization {util}",
+            ]
+        )
+
+
+class ServingSimulator:
+    """Discrete-event closed loop: queue -> batcher -> core pipeline.
+
+    Args:
+        model: the per-core service-time model.
+        policy: the batching policy.
+    """
+
+    def __init__(
+        self, model: PipelineServiceModel, policy: BatchingPolicy
+    ) -> None:
+        self.model = model
+        self.policy = policy
+
+    def run(self, arrival_s: np.ndarray) -> ServingReport:
+        """Serve a trace of arrival times to completion.
+
+        Args:
+            arrival_s: sorted request arrival times.
+
+        Returns:
+            The :class:`ServingReport` with per-request records.
+
+        Raises:
+            ValueError: on an empty or unsorted trace.
+        """
+        arrivals = np.asarray(arrival_s, dtype=float)
+        if arrivals.ndim != 1 or arrivals.size == 0:
+            raise ValueError(
+                f"need a non-empty 1-D arrival trace, got shape "
+                f"{arrivals.shape}"
+            )
+        if np.any(np.diff(arrivals) < 0.0):
+            raise ValueError("arrival times must be sorted ascending")
+
+        model = self.model
+        policy = self.policy
+        num_requests = arrivals.size
+        num_cores = model.num_cores
+        core_free = [0.0] * num_cores
+        core_busy = [0.0] * num_cores
+        dispatch_s = np.empty(num_requests)
+        completion_s = np.empty(num_requests)
+        batches: list[BatchRecord] = []
+
+        head = 0
+        while head < num_requests:
+            # The batch is sealed at the latest of: the head's arrival,
+            # core 0 freeing up, and the policy trigger (batch full or
+            # head's wait budget exhausted).
+            earliest = max(arrivals[head], core_free[0])
+            full_index = head + policy.max_batch - 1
+            fills_at = (
+                arrivals[full_index]
+                if full_index < num_requests
+                else math.inf
+            )
+            deadline = arrivals[head] + policy.max_wait_s
+            dispatch = max(earliest, min(deadline, fills_at))
+            if math.isinf(dispatch):
+                # Fixed-size tail: the batch can never fill and the head
+                # may wait forever, so flush everything left as one
+                # final partial batch once the last request has arrived.
+                dispatch = max(core_free[0], arrivals[-1])
+            queued = int(
+                np.searchsorted(arrivals, dispatch, side="right") - head
+            )
+            size = max(1, min(policy.max_batch, queued))
+
+            start = dispatch
+            for core in range(num_cores):
+                begun = max(start, core_free[core])
+                busy = model.core_busy_s(core, size)
+                start = begun + busy
+                core_free[core] = start
+                core_busy[core] += busy
+            batch = BatchRecord(
+                index=len(batches),
+                first_request=head,
+                size=size,
+                dispatch_s=dispatch,
+                completion_s=start,
+            )
+            batches.append(batch)
+            dispatch_s[head : head + size] = dispatch
+            completion_s[head : head + size] = start
+            head += size
+
+        return ServingReport(
+            policy=policy,
+            num_cores=num_cores,
+            arrival_s=arrivals,
+            dispatch_s=dispatch_s,
+            completion_s=completion_s,
+            batches=tuple(batches),
+            core_busy_s=tuple(core_busy),
+        )
+
+
+def simulate_serving(
+    network: Network,
+    arrival_s: np.ndarray,
+    policy: BatchingPolicy,
+    num_cores: int,
+    config: PCNNAConfig | None = None,
+    clamp_cores: bool = False,
+) -> ServingReport:
+    """One-call serving simulation for an executable network.
+
+    Builds the :class:`PipelineServiceModel` from the network's conv
+    layers and runs the trace through a :class:`ServingSimulator`.
+
+    Raises:
+        ValueError: on a conv-free network, invalid ``num_cores``, or a
+            bad trace.
+    """
+    model = PipelineServiceModel.from_network(
+        network, num_cores, config, clamp_cores
+    )
+    return ServingSimulator(model, policy).run(arrival_s)
+
+
+def replay_on_engine(
+    network: Network,
+    report: ServingReport,
+    inputs: np.ndarray,
+    config: PCNNAConfig | None = None,
+) -> np.ndarray:
+    """Execute a simulated schedule's batches on the real engine.
+
+    Every batch the simulator formed is dispatched as one minibatch to
+    :func:`~repro.core.serving.run_network_pipelined` with the report's
+    core count, and each request's output is scattered back to its slot
+    — the end-to-end proof that the simulated schedule is servable and
+    that batching never changes anyone's answer (in ideal mode the
+    outputs are bit-identical to running every request alone).
+
+    Args:
+        network: the served network.
+        report: a simulation result over ``inputs.shape[0]`` requests.
+        inputs: per-request inputs, shape ``(num_requests,
+            *network.input_shape)``.
+        config: hardware configuration for execution.
+
+    Returns:
+        Per-request outputs, shape ``(num_requests, *output_shape)``.
+
+    Raises:
+        ValueError: if ``inputs`` does not cover the report's requests.
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    expected = (report.num_requests, *network.input_shape)
+    if inputs.shape != expected:
+        raise ValueError(
+            f"need one input per simulated request, expected {expected}, "
+            f"got {inputs.shape}"
+        )
+    outputs: np.ndarray | None = None
+    for batch in report.batches:
+        stop = batch.first_request + batch.size
+        result = run_network_pipelined(
+            network,
+            inputs[batch.first_request : stop],
+            report.num_cores,
+            config,
+        )
+        if outputs is None:
+            outputs = np.empty(
+                (report.num_requests, *result.outputs.shape[1:])
+            )
+        outputs[batch.first_request : stop] = result.outputs
+    assert outputs is not None  # the report always has >= 1 batch
+    return outputs

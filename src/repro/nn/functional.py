@@ -77,15 +77,14 @@ def conv2d_batch(
     padding: int = 0,
     bias: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Batched 2-D convolution: the whole minibatch in one stacked matmul.
+    """Batched 2-D convolution: one im2col gather, one GEMM per image.
 
     The electronic counterpart of the accelerator's batched photonic
-    engine: the im2col columns of all images are gathered in one indexing
-    operation and multiplied by the kernel matrix as a stacked
-    ``(B, K, L)`` matrix product.  Each image's slice of the stacked
-    product is an identically-shaped GEMM to the one :func:`conv2d`
-    issues, so the batched result is *bit-identical* to stacking the
-    per-image results.
+    engine: the im2col columns of all images are gathered in one
+    C-contiguous indexing operation, then each image's ``(K, F) @ (F, L)``
+    product is issued as the *same 2-D GEMM call* :func:`conv2d` makes —
+    so the batched result is *bit-identical* to stacking the per-image
+    results (a broadcast batched matmul is not; see the body comment).
 
     Args:
         feature_maps: minibatch of shape ``(B, C, H, W)``.
@@ -113,13 +112,19 @@ def conv2d_batch(
 
     out_h = conv_output_side(height, kernel_size, padding, stride)
     out_w = conv_output_side(width, kernel_size, padding, stride)
-    # Stacked per-image GEMM: (K, F) @ (B, F, L).  Each image's slice has
-    # the exact shape and layout conv2d uses, so results match it
-    # bit-for-bit (a single concatenated GEMM would round each image
-    # differently depending on its batch neighbours).
+    # Per-image 2-D GEMMs over the one-shot gathered column stack.  Each
+    # image's product is the *same call* conv2d issues — (K, F) @ (F, L)
+    # — so the batched result is bit-identical to stacking per-image
+    # results by construction.  A broadcast batched matmul
+    # (``weight_matrix[None] @ stacked``) is not: NumPy may route the
+    # stacked product through a different kernel than the 2-D case and
+    # round the low-order bits differently depending on the batch size.
+    # The GEMMs dominate, so the per-image dispatch loop costs nothing.
     stacked = im2col_batch_stacked(maps, kernel_size, stride, padding)
     weight_matrix = kernels.reshape(num_kernels, -1)
-    output = weight_matrix[None] @ stacked
+    output = np.empty((batch_size, num_kernels, stacked.shape[2]))
+    for index in range(batch_size):
+        np.matmul(weight_matrix, stacked[index], out=output[index])
     if bias is not None:
         if bias.shape != (num_kernels,):
             raise ValueError(
@@ -323,10 +328,13 @@ def linear(
         )
     batched = inputs.ndim == 2
     stack = inputs if batched else inputs[None]
-    # Stacked matvec (B, 1, in) @ (in, out): every image is an
-    # identically-shaped product, so single-image and batched calls
-    # agree bit-for-bit regardless of batch size.
-    output = (stack[:, None, :] @ weights.T)[:, 0, :]
+    # One matvec per image, single and batched paths issuing the *same*
+    # (out, in) @ (in,) call — bit-identical regardless of batch size.
+    # A stacked broadcast matmul is not: NumPy may pick a different
+    # kernel for the batched product and round differently.
+    output = np.empty((stack.shape[0], weights.shape[0]))
+    for index in range(stack.shape[0]):
+        np.matmul(weights, stack[index], out=output[index])
     if bias is not None:
         output = output + bias
     return output if batched else output[0]

@@ -151,9 +151,14 @@ def im2col_batch_stacked(
     indices = receptive_field_indices(
         height, width, channels, kernel_size, stride, padding
     )
-    # A C-contiguous index makes the gathered result C-contiguous too
-    # (fancy indexing inherits the index array's memory order).
-    return maps.reshape(batch_size, -1)[:, np.ascontiguousarray(indices.T)]
+    # Force C-contiguity: mixing the batch slice with the fancy index
+    # leaves the batch axis *innermost* in memory (the gather iterates
+    # the index subspace outermost), so without the copy every image
+    # slice would be strided — a different layout than im2col produces,
+    # and downstream GEMMs are layout-sensitive at the last bit.
+    return np.ascontiguousarray(
+        maps.reshape(batch_size, -1)[:, indices.T]
+    )
 
 
 def im2col_batch(

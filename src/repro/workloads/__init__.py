@@ -14,6 +14,13 @@ from repro.workloads.serving import (
     serving_batch,
     serving_network,
 )
+from repro.workloads.traffic import (
+    TRAFFIC_PATTERNS,
+    diurnal_arrivals,
+    make_arrivals,
+    mmpp_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.suites import (
     LENET5_CONV_LAYERS,
     VGG16_CONV_LAYERS,
@@ -31,6 +38,11 @@ __all__ = [
     "SERVING_NETWORKS",
     "serving_batch",
     "serving_network",
+    "TRAFFIC_PATTERNS",
+    "diurnal_arrivals",
+    "make_arrivals",
+    "mmpp_arrivals",
+    "poisson_arrivals",
     "LENET5_CONV_LAYERS",
     "VGG16_CONV_LAYERS",
     "lenet5_conv_specs",

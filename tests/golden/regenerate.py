@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression fixtures.
+
+Run from the repository root (only when an *intentional* numeric change
+ships — the diff in the fixtures is the reviewable artifact):
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Each fixture is a compressed ``.npz`` holding a fixed-seed end-to-end
+trace of the full accelerator stack: the minibatch outputs and the first
+conv layer's photonic feature maps, for LeNet-5 and the GoogLeNet stem,
+in ideal and DAC/ADC-quantized modes.  ``tests/test_golden_regression.py``
+recomputes the traces and fails loudly on any bit of drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.nn.layers import Conv2D
+from repro.workloads import serving_batch, serving_network
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+BATCH = 2
+INPUT_SEED = 1234
+WEIGHT_SEED = 7
+SCALE = 0.02  # GoogLeNet-stem channel scale (tractable, fixed forever)
+
+CASES: tuple[tuple[str, str], ...] = (
+    ("lenet5", "ideal"),
+    ("lenet5", "quantized"),
+    ("googlenet-stem", "ideal"),
+    ("googlenet-stem", "quantized"),
+)
+
+
+def build_accelerator(mode: str) -> PCNNA:
+    """The accelerator under golden test for one mode."""
+    accelerator = PCNNA()
+    if mode == "quantized":
+        accelerator.engine = PhotonicConvolution(
+            accelerator.config, method="device", quantize=True
+        )
+    elif mode != "ideal":
+        raise ValueError(f"unknown golden mode {mode!r}")
+    return accelerator
+
+
+def compute_trace(network_name: str, mode: str) -> dict[str, np.ndarray]:
+    """One deterministic end-to-end trace (outputs + first conv maps)."""
+    network = serving_network(network_name, scale=SCALE, seed=WEIGHT_SEED)
+    inputs = serving_batch(network, BATCH, seed=INPUT_SEED)
+    accelerator = build_accelerator(mode)
+    outputs = accelerator.run_network(network, inputs)
+
+    first_conv = next(
+        layer for layer in network.layers if isinstance(layer, Conv2D)
+    )
+    conv_maps = accelerator.convolve(
+        inputs, first_conv.weights, first_conv.stride, first_conv.padding
+    )
+    return {
+        # The raw inputs would dominate the fixture size (megabytes for
+        # 224x224 stacks); a digest guards the seeded generators just as
+        # strictly.
+        "inputs_sha256": input_digest(inputs),
+        "outputs": outputs,
+        "first_conv_maps": conv_maps,
+        "meta_batch": np.array(BATCH),
+        "meta_input_seed": np.array(INPUT_SEED),
+        "meta_weight_seed": np.array(WEIGHT_SEED),
+        "meta_scale": np.array(SCALE),
+    }
+
+
+def input_digest(inputs: np.ndarray) -> np.ndarray:
+    """SHA-256 of the input batch's exact bytes, as a uint8 array."""
+    digest = hashlib.sha256(np.ascontiguousarray(inputs).tobytes()).digest()
+    return np.frombuffer(digest, dtype=np.uint8)
+
+
+def fixture_path(network_name: str, mode: str) -> Path:
+    """Location of one golden fixture."""
+    return GOLDEN_DIR / f"{network_name}_{mode}.npz"
+
+
+def main() -> None:
+    for network_name, mode in CASES:
+        trace = compute_trace(network_name, mode)
+        path = fixture_path(network_name, mode)
+        np.savez_compressed(path, **trace)
+        print(
+            f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)} "
+            f"(outputs {trace['outputs'].shape}, "
+            f"conv {trace['first_conv_maps'].shape})"
+        )
+
+
+if __name__ == "__main__":
+    main()

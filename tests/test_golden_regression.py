@@ -1,0 +1,93 @@
+"""Golden-regression tests: fixed-seed traces must never drift.
+
+The fixtures under ``tests/golden/`` are end-to-end accelerator traces
+(LeNet-5 and the GoogLeNet stem, ideal and DAC/ADC-quantized) captured
+at a known-good commit.  Any numeric change to the photonic engine, the
+electronic layers, the im2col gather, the scaling/decode chain, or the
+quantizers shows up here as a *bit* difference — long before it is
+large enough to trip a tolerance-based test.
+
+On an intentional numeric change, regenerate with:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and review the fixture diff as part of the change.  Environments whose
+BLAS rounds differently than the capture machine can relax the check to
+a tolerance with ``PCNNA_GOLDEN_EXACT=0`` (drift beyond 1e-9 still
+fails).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from golden.regenerate import CASES, compute_trace, fixture_path
+
+EXACT = os.environ.get("PCNNA_GOLDEN_EXACT", "1") != "0"
+
+
+def _assert_matches(name: str, expected: np.ndarray, actual: np.ndarray) -> None:
+    if expected.shape != actual.shape:
+        pytest.fail(
+            f"{name}: shape drifted from {expected.shape} to {actual.shape}"
+        )
+    if np.array_equal(expected, actual):
+        return
+    drift = float(np.max(np.abs(expected - actual)))
+    message = (
+        f"{name}: numeric drift vs golden fixture (max |delta| = {drift:.3e}, "
+        f"{int((expected != actual).sum())}/{expected.size} values differ). "
+        "If this change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/golden/regenerate.py` and review the "
+        "fixture diff."
+    )
+    if EXACT or drift > 1e-9:
+        pytest.fail(message)
+
+
+@pytest.mark.parametrize(("network_name", "mode"), CASES)
+def test_trace_matches_golden_fixture(network_name, mode):
+    path = fixture_path(network_name, mode)
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        "`PYTHONPATH=src python tests/golden/regenerate.py`"
+    )
+    with np.load(path) as fixture:
+        trace = compute_trace(network_name, mode)
+        # The input digest guards the seeded workload generators
+        # themselves: if the batch or the weight init drifts, every
+        # downstream number is meaningless.
+        assert np.array_equal(
+            fixture["inputs_sha256"], trace["inputs_sha256"]
+        ), (
+            f"{network_name}/{mode}: the seeded input batch itself "
+            "drifted — repro.workloads generators changed behaviour"
+        )
+        for key in ("first_conv_maps", "outputs"):
+            _assert_matches(
+                f"{network_name}/{mode}/{key}", fixture[key], trace[key]
+            )
+
+
+@pytest.mark.parametrize(("network_name", "mode"), CASES)
+def test_fixture_metadata_pins_the_scenario(network_name, mode):
+    """The capture parameters are stored in the fixture, so a silent
+    change to the regeneration script cannot masquerade as drift."""
+    from golden import regenerate
+
+    with np.load(fixture_path(network_name, mode)) as fixture:
+        assert int(fixture["meta_batch"]) == regenerate.BATCH
+        assert int(fixture["meta_input_seed"]) == regenerate.INPUT_SEED
+        assert int(fixture["meta_weight_seed"]) == regenerate.WEIGHT_SEED
+        assert float(fixture["meta_scale"]) == regenerate.SCALE
+
+
+def test_quantized_fixture_differs_from_ideal():
+    """Sanity: the two modes are genuinely different scenarios (a broken
+    quantizer silently acting as a no-op would otherwise pass both)."""
+    with np.load(fixture_path("lenet5", "ideal")) as ideal, np.load(
+        fixture_path("lenet5", "quantized")
+    ) as quantized:
+        assert not np.array_equal(ideal["outputs"], quantized["outputs"])
+        assert np.array_equal(ideal["inputs_sha256"], quantized["inputs_sha256"])

@@ -1,0 +1,248 @@
+"""Randomized invariant tests for the batched execution engine.
+
+PR 2 fixed two batched-vs-single divergences (quantized TIA gain, noise
+forking) found by hand; these tests generalize that hunt.  Over random
+shapes, strides, paddings, batch sizes, and execution modes they assert
+the engine's two load-bearing invariants:
+
+* **batch transparency** — executing a minibatch is *bit-identical* to
+  stacking per-image executions, for the photonic convolution (ideal and
+  quantized), the batch-native electronic ops, whole random layer
+  stacks, and the multi-core pipelined runner;
+* **geometry honesty** — ``pool_output_size`` / ``conv_output_side``
+  (the shape equations every analytical model consumes) agree with the
+  shapes the functional ops actually produce.
+
+Noisy mode intentionally does not promise batch transparency (the noise
+stream walks the whole wave stack, see ``docs/architecture.md``); what
+it does promise — determinism under a fixed seed, batch-size-independent
+per-image encodings — is asserted instead.
+
+All randomness is drawn through seeded ``default_rng`` streams from
+hypothesis-chosen seeds, so failures shrink and replay deterministically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.core.config import PCNNAConfig
+from repro.core.serving import run_network_pipelined
+from repro.nn import functional as F
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network
+from repro.nn.shapes import conv_output_side, pool_output_size
+from repro.photonics.noise import realistic
+
+
+@st.composite
+def conv_case(draw):
+    """A random (batch, feature map, kernels, stride, padding) problem."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    batch = draw(st.integers(min_value=1, max_value=4))
+    channels = draw(st.integers(min_value=1, max_value=3))
+    height = draw(st.integers(min_value=4, max_value=9))
+    width = draw(st.integers(min_value=4, max_value=9))
+    kernel = draw(st.integers(min_value=1, max_value=3))
+    stride = draw(st.integers(min_value=1, max_value=3))
+    padding = draw(st.integers(min_value=0, max_value=2))
+    num_kernels = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, channels, height, width))
+    k = rng.normal(size=(num_kernels, channels, kernel, kernel))
+    return x, k, stride, padding
+
+
+class TestPhotonicBatchTransparency:
+    """convolve(batch) == stack(convolve(image)) bit-exactly."""
+
+    @given(case=conv_case())
+    @settings(max_examples=30, deadline=None)
+    def test_ideal_matrix_engine(self, case):
+        x, k, stride, padding = case
+        engine = PhotonicConvolution()
+        batched = engine.convolve(x, k, stride, padding)
+        stacked = np.stack(
+            [engine.convolve(image, k, stride, padding) for image in x]
+        )
+        assert np.array_equal(batched, stacked)
+
+    @given(case=conv_case())
+    @settings(max_examples=15, deadline=None)
+    def test_ideal_device_engine(self, case):
+        x, k, stride, padding = case
+        engine = PhotonicConvolution(method="device")
+        batched = engine.convolve(x, k, stride, padding)
+        stacked = np.stack(
+            [engine.convolve(image, k, stride, padding) for image in x]
+        )
+        assert np.array_equal(batched, stacked)
+
+    @given(case=conv_case())
+    @settings(max_examples=15, deadline=None)
+    def test_quantized_device_engine(self, case):
+        """The invariant PR 2's per-image TIA gain fix established: an
+        image's DAC/ADC quantization never depends on its batch-mates."""
+        x, k, stride, padding = case
+        engine = PhotonicConvolution(method="device", quantize=True)
+        batched = engine.convolve(x, k, stride, padding)
+        stacked = np.stack(
+            [engine.convolve(image, k, stride, padding) for image in x]
+        )
+        assert np.array_equal(batched, stacked)
+
+    @given(case=conv_case(), noise_seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=10, deadline=None)
+    def test_noisy_engine_deterministic(self, case, noise_seed):
+        """Noisy mode promises reproducibility, not batch transparency:
+        identical calls draw identical noise (the NoiseConfig.fork
+        invariant PR 2 established), batched or not."""
+        x, k, stride, padding = case
+        config = PCNNAConfig(noise=realistic(seed=noise_seed))
+        engine = PhotonicConvolution(config, method="device")
+        first = engine.convolve(x, k, stride, padding)
+        second = engine.convolve(x, k, stride, padding)
+        assert np.array_equal(first, second)
+
+
+@st.composite
+def electronic_stack_case(draw):
+    """A random electronic-layer stack with a fitting input."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    channels = draw(st.integers(min_value=1, max_value=4))
+    side = draw(st.integers(min_value=5, max_value=12))
+    batch = draw(st.integers(min_value=1, max_value=4))
+    shape: tuple[int, ...] = (channels, side, side)
+    layers = []
+
+    if draw(st.booleans()):
+        num_kernels = draw(st.integers(min_value=1, max_value=4))
+        kernel = draw(st.integers(min_value=1, max_value=min(3, side)))
+        stride = draw(st.integers(min_value=1, max_value=2))
+        bias = rng.normal(size=num_kernels) if draw(st.booleans()) else None
+        conv = Conv2D(
+            rng.normal(size=(num_kernels, channels, kernel, kernel)),
+            stride=stride,
+            bias=bias,
+        )
+        layers.append(conv)
+        shape = conv.output_shape(shape)
+    layers.append(ReLU())
+    if draw(st.booleans()):
+        layers.append(LocalResponseNorm(size=draw(st.integers(1, 5))))
+    pool = draw(st.integers(min_value=1, max_value=3))
+    if shape[1] >= pool and draw(st.booleans()):
+        pool_layer = MaxPool2D(pool, stride=draw(st.integers(1, 2)))
+        layers.append(pool_layer)
+        shape = pool_layer.output_shape(shape)
+    layers.append(Flatten())
+    features = shape[0] * shape[1] * shape[2]
+    out = draw(st.integers(min_value=1, max_value=5))
+    layers.append(
+        Dense(
+            rng.normal(size=(out, features)),
+            bias=rng.normal(size=out) if draw(st.booleans()) else None,
+        )
+    )
+    if draw(st.booleans()):
+        layers.append(Softmax())
+    network = Network(layers, input_shape=(channels, side, side), name="rand")
+    inputs = rng.normal(size=(batch, channels, side, side))
+    return network, inputs
+
+
+class TestNetworkBatchTransparency:
+    @given(case=electronic_stack_case())
+    @settings(max_examples=40, deadline=None)
+    def test_forward_batch_equals_stacked_forward(self, case):
+        """Network.forward_batch == stacked per-image forward, bit-exact,
+        for random stacks of every electronic layer type."""
+        network, inputs = case
+        batched = network.forward_batch(inputs)
+        stacked = np.stack([network.forward(image) for image in inputs])
+        assert np.array_equal(batched, stacked)
+
+    @given(case=electronic_stack_case())
+    @settings(max_examples=10, deadline=None)
+    def test_run_network_batched_equals_stacked(self, case):
+        """The accelerator facade keeps the same invariant end to end
+        (photonic convs + electronic rest) in ideal mode."""
+        network, inputs = case
+        accelerator = PCNNA()
+        batched = accelerator.run_network(network, inputs)
+        stacked = np.stack(
+            [accelerator.run_network(network, image) for image in inputs]
+        )
+        assert np.array_equal(batched, stacked)
+
+    @given(
+        case=electronic_stack_case(),
+        cores=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_pipelined_runner_preserves_outputs(self, case, cores):
+        """Splitting layers over cores never changes the outputs."""
+        network, inputs = case
+        if not network.conv_specs():
+            return  # conv-free stacks cannot be pipelined (tested elsewhere)
+        result = run_network_pipelined(network, inputs, cores, clamp_cores=True)
+        assert np.array_equal(result.outputs, PCNNA().run_network(network, inputs))
+
+
+class TestGeometryHonesty:
+    """The shape equations match the shapes the ops actually produce."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        height=st.integers(min_value=1, max_value=12),
+        width=st.integers(min_value=1, max_value=12),
+        pool=st.integers(min_value=1, max_value=4),
+        stride=st.integers(min_value=1, max_value=4),
+        batch=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pool_output_size_matches_max_pool2d(
+        self, seed, height, width, pool, stride, batch
+    ):
+        if pool > min(height, width):
+            with pytest.raises(ValueError):
+                pool_output_size(min(height, width), pool, stride)
+            return
+        expected = (
+            pool_output_size(height, pool, stride),
+            pool_output_size(width, pool, stride),
+        )
+        rng = np.random.default_rng(seed)
+        single = F.max_pool2d(rng.normal(size=(2, height, width)), pool, stride)
+        assert single.shape == (2, *expected)
+        batched = F.max_pool2d(
+            rng.normal(size=(batch, 2, height, width)), pool, stride
+        )
+        assert batched.shape == (batch, 2, *expected)
+        layer = MaxPool2D(pool, stride=stride)
+        assert layer.output_shape((2, height, width)) == (2, *expected)
+
+    @given(case=conv_case())
+    @settings(max_examples=30, deadline=None)
+    def test_conv_output_side_matches_engines(self, case):
+        x, k, stride, padding = case
+        batch, _, height, width = x.shape
+        expected = (
+            conv_output_side(height, k.shape[2], padding, stride),
+            conv_output_side(width, k.shape[2], padding, stride),
+        )
+        functional = F.conv2d_batch(x, k, stride, padding)
+        assert functional.shape == (batch, k.shape[0], *expected)
+        photonic = PhotonicConvolution().convolve(x, k, stride, padding)
+        assert photonic.shape == (batch, k.shape[0], *expected)

@@ -44,10 +44,23 @@ class TestStageLayerSlices:
 
     def test_rejects_bad_core_counts(self):
         net = build_lenet5()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="core count"):
             stage_layer_slices(net, 0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="core count"):
             stage_layer_slices(net, 4)
+        with pytest.raises(ValueError, match="integer"):
+            stage_layer_slices(net, 2.5)
+        with pytest.raises(ValueError, match="integer"):
+            stage_layer_slices(net, True)
+
+    def test_clamp_cores_shrinks_oversized_requests(self):
+        net = build_lenet5()
+        partition, slices = stage_layer_slices(net, 64, clamp_cores=True)
+        assert partition.num_cores == len(net.conv_specs())
+        assert slices[-1][1] == len(net.layers)
+        # Valid requests are untouched by clamping.
+        exact, _ = stage_layer_slices(net, 2, clamp_cores=True)
+        assert exact.slices == stage_layer_slices(net, 2)[0].slices
 
 
 class TestRunNetworkPipelined:
@@ -88,6 +101,38 @@ class TestRunNetworkPipelined:
         assert covered == [layer.name for layer in net.layers]
         assert all(stage.wall_time_s >= 0.0 for stage in result.stages)
         assert "img/s" in result.describe()
+
+    def test_rejects_empty_batch_up_front(self):
+        net = build_lenet5()
+        with pytest.raises(ValueError, match="at least one image"):
+            run_network_pipelined(net, np.zeros((0, 1, 32, 32)), 2)
+
+    def test_single_conv_layer_network(self):
+        from repro.nn.layers import Conv2D
+
+        rng = np.random.default_rng(0)
+        net = Network(
+            [Conv2D(rng.normal(size=(2, 1, 3, 3))), ReLU()],
+            input_shape=(1, 8, 8),
+        )
+        x = rng.normal(size=(3, 1, 8, 8))
+        result = run_network_pipelined(net, x, 1)
+        assert result.num_cores == 1
+        assert np.array_equal(result.outputs, PCNNA().run_network(net, x))
+        # More cores than conv layers: clear error, or clamp on request.
+        with pytest.raises(ValueError, match="core count"):
+            run_network_pipelined(net, x, 2)
+        clamped = run_network_pipelined(net, x, 2, clamp_cores=True)
+        assert clamped.num_cores == 1
+
+    def test_validation_happens_before_partitioning(self):
+        """The error arrives from the up-front validator (clear message),
+        not as a TypeError deep inside the DP recurrence."""
+        net = build_lenet5()
+        with pytest.raises(ValueError, match="core count must be an integer"):
+            run_network_pipelined(
+                net, np.zeros((1, 1, 32, 32)), 1.5  # type: ignore[arg-type]
+            )
 
     def test_accepts_prebuilt_accelerator(self):
         net = build_lenet5(seed=0)
