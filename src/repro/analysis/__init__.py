@@ -3,10 +3,13 @@
 from repro.analysis.export import results_to_json, series_to_csv, write_text
 from repro.analysis.figures import ascii_line_plot, log_bar_chart
 from repro.analysis.sweeps import (
+    FAULT_SWEEP_HEADER,
     SERVING_SWEEP_HEADER,
+    FaultSweepPoint,
     ServingSweepPoint,
     SweepPoint,
     sweep_fast_clock,
+    sweep_fault_tolerance,
     sweep_kernel_count,
     sweep_num_dacs,
     sweep_serving_policies,
@@ -26,10 +29,13 @@ __all__ = [
     "write_text",
     "ascii_line_plot",
     "log_bar_chart",
+    "FAULT_SWEEP_HEADER",
     "SERVING_SWEEP_HEADER",
+    "FaultSweepPoint",
     "ServingSweepPoint",
     "SweepPoint",
     "sweep_fast_clock",
+    "sweep_fault_tolerance",
     "sweep_kernel_count",
     "sweep_num_dacs",
     "sweep_serving_policies",

@@ -26,6 +26,12 @@ from repro.core.analytical import (
     optical_core_time_s,
 )
 from repro.core.config import PCNNAConfig
+from repro.core.faults import (
+    DegradedServingReport,
+    DegradedServingSimulator,
+    FaultSchedule,
+    RecalibrationPolicy,
+)
 from repro.core.traffic import (
     BatchingPolicy,
     PipelineServiceModel,
@@ -214,6 +220,126 @@ def sweep_serving_policies(
                     policy=policy.name,
                     num_cores=model.num_cores,
                     report=report,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One (drift rate, recalibration policy) cell of a fault sweep.
+
+    Attributes:
+        drift_rate_k_per_s: uniform ambient drift rate of the cell.
+        recalibration: the recalibration policy's name, or ``"none"``.
+        report: the full degraded simulation result for drill-down.
+    """
+
+    drift_rate_k_per_s: float
+    recalibration: str
+    report: DegradedServingReport
+
+    @property
+    def mean_accuracy_proxy(self) -> float:
+        """Batch-weighted mean measured weight error."""
+        return self.report.mean_accuracy_proxy
+
+    @property
+    def min_availability(self) -> float:
+        """The least-available core's availability."""
+        return min(self.report.availability)
+
+    def row(self) -> list[str]:
+        """The cell formatted for a comparison table."""
+        report = self.report
+        return [
+            f"{self.drift_rate_k_per_s:g}",
+            self.recalibration,
+            f"{report.mean_accuracy_proxy:.4f}",
+            f"{report.final_accuracy_proxy:.4f}",
+            f"{report.p99_s * 1e6:.0f}",
+            f"{self.min_availability:.2%}",
+            str(len(report.recalibrations)),
+        ]
+
+
+FAULT_SWEEP_HEADER = [
+    "drift (K/s)",
+    "recal",
+    "proxy mean",
+    "proxy final",
+    "p99 (us)",
+    "min avail",
+    "recals",
+]
+"""Column labels matching :meth:`FaultSweepPoint.row`."""
+
+
+def sweep_fault_tolerance(
+    specs: list[ConvLayerSpec],
+    policy: BatchingPolicy,
+    drift_rates_k_per_s: list[float],
+    recalibrations: list[RecalibrationPolicy | None],
+    arrival_s: np.ndarray,
+    num_cores: int,
+    config: PCNNAConfig | None = None,
+    clamp_cores: bool = False,
+) -> list[FaultSweepPoint]:
+    """Simulate drift rate x recalibration policy over one shared trace.
+
+    Every cell serves the identical arrival trace under a uniform
+    thermal-drift ramp (:meth:`FaultSchedule.uniform_drift`), so the
+    accuracy-proxy and availability differences are attributable to the
+    drift rate and the recalibration policy alone.  Passing ``None`` in
+    ``recalibrations`` produces the no-recalibration baseline column.
+
+    Uniform drift degrades every core in lockstep, so the fault-aware
+    repartitioning path (which must keep at least one survivor) can
+    never trigger here and is left off; study asymmetric failures via
+    :class:`DegradedServingSimulator` with a scenario schedule instead.
+
+    Args:
+        specs: the served network's conv layers.
+        policy: the batching policy every cell uses.
+        drift_rates_k_per_s: ambient drift rates to compare.
+        recalibrations: recalibration policies to compare (``None`` =
+            recalibration disabled).
+        arrival_s: the shared request-arrival trace.
+        num_cores: pipeline width.
+        config: hardware configuration.
+        clamp_cores: clamp an oversized ``num_cores`` to ``len(specs)``.
+
+    Returns:
+        One :class:`FaultSweepPoint` per cell, policies varying fastest.
+
+    Raises:
+        ValueError: on empty sweep axes, bad specs, or a bad trace.
+    """
+    if not drift_rates_k_per_s:
+        raise ValueError("need at least one drift rate")
+    if not recalibrations:
+        raise ValueError("need at least one recalibration policy (or None)")
+    model = PipelineServiceModel.from_specs(
+        specs, num_cores, config, clamp_cores=clamp_cores
+    )
+    points = []
+    for rate in drift_rates_k_per_s:
+        schedule = FaultSchedule.uniform_drift(rate, model.num_cores)
+        for recalibration in recalibrations:
+            simulator = DegradedServingSimulator(
+                model,
+                policy,
+                schedule,
+                recalibration=recalibration,
+                config=config,
+            )
+            points.append(
+                FaultSweepPoint(
+                    drift_rate_k_per_s=rate,
+                    recalibration=(
+                        "none" if recalibration is None else recalibration.name
+                    ),
+                    report=simulator.run(arrival_s),
                 )
             )
     return points

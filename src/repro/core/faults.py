@@ -1,0 +1,1031 @@
+"""Hardware-degradation scenario engine for degraded-mode serving.
+
+The PR 3 serving simulator (:mod:`repro.core.traffic`) assumes every
+core stays perfectly calibrated forever.  Real microring weight banks do
+not: ambient temperature drifts, heaters leak onto neighbours, rings die
+and stick, and TIAs age.  This module closes that loop — the discrete
+event loop, the scheduler, and the photonic substrate share one
+simulated clock for the first time:
+
+* a seeded :class:`FaultSchedule` describes *when* each physical core's
+  hardware degrades (thermal drift ramps, crosstalk excursions,
+  dead/stuck rings, TIA gain droop);
+* each core carries a :class:`CoreHealthState` — a real
+  :class:`~repro.photonics.drift.DriftingWeightBank` probe advanced to
+  every dispatch instant, whose balanced-detection weight error is the
+  core's **accuracy proxy**, measured from photodiode readout physics
+  rather than assumed;
+* an optional :class:`RecalibrationPolicy` watches the proxy and
+  invokes the closed calibration loop
+  (:func:`~repro.photonics.calibration.calibrate_bank` via the probe)
+  when it crosses a threshold, costing the core real downtime on the
+  shared clock;
+* a fault-aware scheduler drains the pipeline and re-partitions the
+  layers over the surviving cores (via
+  :func:`~repro.core.multicore.balanced_partition` inside
+  :class:`~repro.core.traffic.PipelineServiceModel`) when a core
+  degrades beyond what recalibration can restore;
+* :func:`replay_on_engine_degraded` re-executes the schedule's batches
+  on the *real* engine with each core's conv weights pushed through the
+  measured drift transfer, reporting golden-output divergence per batch.
+
+The engine is differential by construction: dispatch planning is the
+exact :func:`~repro.core.traffic.plan_dispatch` arithmetic the fault-free
+simulator uses, so a zero-magnitude schedule yields a bit-identical
+:class:`~repro.core.traffic.ServingReport` (and a bit-identical engine
+replay) — the property ``tests/test_differential_faults.py`` pins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import PCNNAConfig
+from repro.core.serving import run_network_pipelined, stage_layer_slices
+from repro.core.traffic import (
+    BatchingPolicy,
+    BatchRecord,
+    PipelineServiceModel,
+    ServingReport,
+    plan_dispatch,
+    validate_arrival_trace,
+    validate_replay_inputs,
+)
+from repro.nn.layers import Conv2D
+from repro.nn.network import Network
+from repro.nn.shapes import ConvLayerSpec
+from repro.photonics.calibration import CalibrationResult
+from repro.photonics.drift import (
+    BankCondition,
+    DriftingWeightBank,
+    drift_transfer,
+)
+
+FAULT_KINDS: tuple[str, ...] = (
+    "thermal_ramp",
+    "crosstalk",
+    "dead_rings",
+    "stuck_rings",
+    "tia_droop",
+)
+"""Fault kinds a :class:`FaultEvent` may carry."""
+
+_RING_KINDS = ("dead_rings", "stuck_rings")
+_UNIT_KINDS = ("dead_rings", "stuck_rings", "tia_droop")
+_MAX_COUPLING = 0.95
+"""Crosstalk excursions are capped below the thermal model's limit."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed hardware fault on one physical core.
+
+    Magnitude semantics per kind:
+
+    * ``thermal_ramp`` — ambient temperature ramps at ``magnitude`` K/s
+      from ``onset_s`` for ``duration_s``, then *holds* the accumulated
+      offset (drift does not revert by itself; recalibration does).
+    * ``crosstalk`` — heater coupling rises by ``magnitude`` while the
+      event is active and reverts when it ends (a transient excursion).
+    * ``dead_rings`` / ``stuck_rings`` — the first
+      ``magnitude * len(rings)`` listed rings (rounded down) die or
+      stick at ``onset_s``, permanently.  ``magnitude`` in ``[0, 1]`` is
+      the affected fraction, which keeps zero-magnitude schedules
+      perfect no-ops and lets sweeps scale severity continuously.
+    * ``tia_droop`` — the TIA gain falls linearly to ``1 - magnitude``
+      over ``duration_s`` and holds (a step at onset if the duration is
+      infinite).
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        core: physical core index the fault strikes (events addressed to
+            cores outside a given pipeline are inert there).
+        onset_s: simulated time the fault begins.
+        magnitude: severity, per the kind semantics above (>= 0).
+        duration_s: active span (> 0; default infinite).
+        rings: candidate ring indices for the ring kinds.
+    """
+
+    kind: str
+    core: int
+    onset_s: float
+    magnitude: float
+    duration_s: float = math.inf
+    rings: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}"
+            )
+        if not isinstance(self.core, (int, np.integer)) or self.core < 0:
+            raise ValueError(
+                f"core must be a non-negative integer, got {self.core!r}"
+            )
+        if self.onset_s < 0.0 or not np.isfinite(self.onset_s):
+            raise ValueError(
+                f"onset must be finite and >= 0, got {self.onset_s!r}"
+            )
+        if self.magnitude < 0.0 or not np.isfinite(self.magnitude):
+            raise ValueError(
+                f"magnitude must be finite and >= 0, got {self.magnitude!r}"
+            )
+        if self.kind in _UNIT_KINDS and self.magnitude > 1.0:
+            raise ValueError(
+                f"{self.kind} magnitude is a fraction in [0, 1], got "
+                f"{self.magnitude!r}"
+            )
+        if self.kind == "crosstalk" and self.magnitude >= 1.0:
+            raise ValueError(
+                f"crosstalk magnitude must be below 1, got {self.magnitude!r}"
+            )
+        if self.duration_s <= 0.0 or math.isnan(self.duration_s):
+            raise ValueError(
+                f"duration must be positive, got {self.duration_s!r}"
+            )
+        if any(
+            not isinstance(ring, (int, np.integer)) or ring < 0
+            for ring in self.rings
+        ):
+            raise ValueError(f"ring indices must be >= 0, got {self.rings!r}")
+        if self.kind in _RING_KINDS and self.magnitude > 0.0 and not self.rings:
+            raise ValueError(f"{self.kind} event needs candidate rings")
+
+    @property
+    def affected_rings(self) -> tuple[int, ...]:
+        """The rings this event actually strikes (magnitude fraction)."""
+        count = int(self.magnitude * len(self.rings) + 1e-9)
+        return self.rings[:count]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, immutable collection of timed fault events.
+
+    Attributes:
+        name: label used in reports and sweep tables.
+        events: the fault events, in any order.
+    """
+
+    name: str
+    events: tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        """The empty schedule (a perfectly healthy run)."""
+        return cls(name="fault-free", events=())
+
+    @classmethod
+    def uniform_drift(
+        cls,
+        rate_k_per_s: float,
+        num_cores: int,
+        onset_s: float = 0.0,
+        duration_s: float = math.inf,
+    ) -> "FaultSchedule":
+        """Every core's ambient temperature ramps at the same rate.
+
+        The canonical sweep axis of
+        :func:`~repro.analysis.sweeps.sweep_fault_tolerance`.
+
+        Raises:
+            ValueError: on a negative rate or non-positive core count.
+        """
+        if num_cores < 1:
+            raise ValueError(f"need >= 1 core, got {num_cores!r}")
+        events = tuple(
+            FaultEvent(
+                kind="thermal_ramp",
+                core=core,
+                onset_s=onset_s,
+                magnitude=rate_k_per_s,
+                duration_s=duration_s,
+            )
+            for core in range(num_cores)
+        )
+        return cls(name=f"drift-{rate_k_per_s:g}K/s", events=events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_cores: int,
+        horizon_s: float,
+        events_per_core: int = 2,
+        probe_rings: int = 8,
+        max_drift_k_per_s: float = 1.0,
+    ) -> "FaultSchedule":
+        """A seeded random schedule mixing every fault kind.
+
+        Pure function of its arguments: the same seed yields the same
+        schedule, so randomized scenario studies stay reproducible.
+
+        Raises:
+            ValueError: on a non-positive core count, horizon, or event
+                count.
+        """
+        if num_cores < 1:
+            raise ValueError(f"need >= 1 core, got {num_cores!r}")
+        if horizon_s <= 0.0:
+            raise ValueError(f"horizon must be positive, got {horizon_s!r}")
+        if events_per_core < 1:
+            raise ValueError(
+                f"need >= 1 event per core, got {events_per_core!r}"
+            )
+        rng = np.random.default_rng(seed)
+        events = []
+        for core in range(num_cores):
+            for _ in range(events_per_core):
+                kind = FAULT_KINDS[rng.integers(len(FAULT_KINDS))]
+                onset = float(rng.uniform(0.0, horizon_s))
+                duration = float(rng.uniform(0.1, 1.0) * horizon_s)
+                if kind == "thermal_ramp":
+                    magnitude = float(rng.uniform(0.0, max_drift_k_per_s))
+                elif kind == "crosstalk":
+                    magnitude = float(rng.uniform(0.0, 0.3))
+                else:
+                    magnitude = float(rng.uniform(0.0, 1.0))
+                rings = tuple(
+                    int(r)
+                    for r in rng.choice(
+                        probe_rings,
+                        size=int(rng.integers(1, probe_rings + 1)),
+                        replace=False,
+                    )
+                )
+                events.append(
+                    FaultEvent(
+                        kind=kind,
+                        core=core,
+                        onset_s=onset,
+                        magnitude=magnitude,
+                        duration_s=duration,
+                        rings=rings,
+                    )
+                )
+        return cls(name=f"random-{seed}", events=tuple(events))
+
+    def scaled(self, factor: float) -> "FaultSchedule":
+        """The same schedule with every magnitude scaled by ``factor``.
+
+        Fractional magnitudes (ring kinds, TIA droop) are clamped back
+        to 1 after scaling.  ``scaled(0.0)`` is the canonical
+        zero-magnitude schedule of the differential tests: same events,
+        zero physical effect.
+
+        Raises:
+            ValueError: on a negative or non-finite factor.
+        """
+        if factor < 0.0 or not np.isfinite(factor):
+            raise ValueError(
+                f"scale factor must be finite and >= 0, got {factor!r}"
+            )
+        events = tuple(
+            replace(
+                event,
+                magnitude=(
+                    min(event.magnitude * factor, 1.0)
+                    if event.kind in _UNIT_KINDS
+                    else min(event.magnitude * factor, 0.99)
+                    if event.kind == "crosstalk"
+                    else event.magnitude * factor
+                ),
+            )
+            for event in self.events
+        )
+        return FaultSchedule(name=f"{self.name}x{factor:g}", events=events)
+
+    def events_for(self, core: int) -> tuple[FaultEvent, ...]:
+        """The events striking one physical core, onset-ordered."""
+        return tuple(
+            sorted(
+                (event for event in self.events if event.core == core),
+                key=lambda event: event.onset_s,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class RecalibrationPolicy:
+    """When and at what cost is a drifted core recalibrated?
+
+    Recalibration is triggered at dispatch instants when a core's
+    measured weight error reaches ``error_threshold``; the core then
+    drains and runs the closed calibration loop, paying
+    ``overhead_s + iterations * iteration_time_s`` of downtime on the
+    shared clock (the probe/settle cycle of each feedback iteration
+    plus the drain/settle overhead).
+
+    Attributes:
+        name: label used in reports and sweep tables.
+        error_threshold: weight error that triggers recalibration.
+        max_iterations: feedback iterations per recalibration attempt.
+        iteration_time_s: simulated time one feedback iteration costs.
+        overhead_s: fixed drain/settle cost per attempt.
+    """
+
+    name: str = "recal"
+    error_threshold: float = 0.05
+    max_iterations: int = 20
+    iteration_time_s: float = 50e-6
+    overhead_s: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.error_threshold <= 0.0 or not np.isfinite(self.error_threshold):
+            raise ValueError(
+                f"error threshold must be finite and > 0, got "
+                f"{self.error_threshold!r}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"need >= 1 iteration, got {self.max_iterations!r}"
+            )
+        if self.iteration_time_s < 0.0 or self.overhead_s < 0.0:
+            raise ValueError("recalibration times must be >= 0")
+
+    def downtime_s(self, iterations: int) -> float:
+        """Downtime one attempt with ``iterations`` iterations costs."""
+        return self.overhead_s + iterations * self.iteration_time_s
+
+
+@dataclass(frozen=True)
+class CoreDriftSnapshot:
+    """One core's degradation at a dispatch instant.
+
+    The residual shift, TIA gain, and dead rings feed
+    :func:`replay_on_engine_degraded`; the stuck rings are recorded for
+    diagnostics only — a stuck heater's effect on the *output* is that
+    recalibration cannot correct its channel, which the residual shift
+    already carries, so the replay intentionally does not perturb stuck
+    positions a second time.
+
+    Attributes:
+        core: physical core index.
+        residual_shift_hz: ambient resonance shift *beyond* what the
+            last successful recalibration compensated.
+        tia_gain: output-visible TIA gain — droop accrued *beyond* what
+            the last successful recalibration's command boost absorbed.
+        dead_rings: rings currently dead.
+        stuck_rings: rings currently stuck (diagnostic).
+    """
+
+    core: int
+    residual_shift_hz: float
+    tia_gain: float
+    dead_rings: tuple[int, ...]
+    stuck_rings: tuple[int, ...]
+
+    @property
+    def pristine(self) -> bool:
+        """Whether the degraded replay may skip perturbing this core."""
+        return (
+            self.residual_shift_hz == 0.0
+            and self.tia_gain == 1.0
+            and not self.dead_rings
+        )
+
+
+@dataclass(frozen=True)
+class RecalibrationRecord:
+    """One recalibration attempt, as the event loop saw it.
+
+    Attributes:
+        time_s: dispatch instant that triggered the attempt.
+        core: physical core recalibrated.
+        iterations: feedback iterations the loop ran.
+        residual: weight error *after* the attempt.
+        downtime_s: simulated downtime charged to the core.
+        restored: whether the residual fell back below the policy
+            threshold (``False`` means the drift exceeded the command
+            headroom — the core is a failure candidate).
+    """
+
+    time_s: float
+    core: int
+    iterations: int
+    residual: float
+    downtime_s: float
+    restored: bool
+
+
+@dataclass(frozen=True)
+class RepartitionRecord:
+    """One fault-aware drain-and-repartition of the pipeline.
+
+    Attributes:
+        time_s: dispatch instant the scheduler reacted at.
+        failed_cores: physical cores removed from the pipeline.
+        num_cores_after: pipeline width after the repartition.
+    """
+
+    time_s: float
+    failed_cores: tuple[int, ...]
+    num_cores_after: int
+
+
+class CoreHealthState:
+    """Drift state machine of one physical core on the shared clock.
+
+    Wraps the core's :class:`DriftingWeightBank` probe: closed-form
+    composition of the schedule's events yields the core's
+    :class:`BankCondition` at any instant, the probe is re-tuned only
+    when that condition actually changes, and the measured weight error
+    is cached between changes.  Deterministic: the probe is seeded by
+    the core index and every input is a pure function of simulated time.
+
+    Args:
+        core: physical core index.
+        schedule: the fault schedule (events for other cores ignored).
+        probe_rings: rings in the accuracy-probe bank.
+    """
+
+    def __init__(
+        self, core: int, schedule: FaultSchedule, probe_rings: int = 8
+    ) -> None:
+        self.core = core
+        self.events = schedule.events_for(core)
+        self.probe = DriftingWeightBank(
+            num_rings=probe_rings, targets=None, seed=core
+        )
+        # Squash the pristine bank's open-loop crosstalk residual so the
+        # healthy baseline error is ~1e-7, far below any trigger.
+        self.probe.recalibrate()
+        self._condition = BankCondition()
+        self.error = self.probe.weight_error()
+        self.compensated_shift_hz = 0.0
+        self.compensated_gain = 1.0
+        self.recal_exhausted = False
+        self._exhausted_condition: BankCondition | None = None
+
+    def condition_at(self, time_s: float) -> BankCondition:
+        """Compose the schedule into the core's condition at one instant."""
+        ambient_k = 0.0
+        coupling = 0.0
+        gain = 1.0
+        dead: set[int] = set()
+        stuck: set[int] = set()
+        for event in self.events:
+            if event.kind == "thermal_ramp":
+                ambient_k += event.magnitude * min(
+                    max(time_s - event.onset_s, 0.0), event.duration_s
+                )
+            elif event.kind == "crosstalk":
+                if event.onset_s <= time_s < event.onset_s + event.duration_s:
+                    coupling += event.magnitude
+            elif event.kind == "tia_droop":
+                if math.isinf(event.duration_s):
+                    progress = 1.0 if time_s >= event.onset_s else 0.0
+                else:
+                    progress = min(
+                        max((time_s - event.onset_s) / event.duration_s, 0.0),
+                        1.0,
+                    )
+                gain *= 1.0 - event.magnitude * progress
+            elif time_s >= event.onset_s:
+                affected = event.affected_rings
+                if event.kind == "dead_rings":
+                    dead.update(affected)
+                else:
+                    stuck.update(affected)
+        return BankCondition(
+            ambient_k=ambient_k,
+            crosstalk_coupling=min(coupling, _MAX_COUPLING),
+            dead_rings=tuple(sorted(dead)),
+            stuck_rings=tuple(sorted(stuck)),
+            tia_gain=max(gain, 0.0),
+        )
+
+    def advance_to(self, time_s: float) -> None:
+        """Advance the probe to a dispatch instant (no-op if unchanged)."""
+        condition = self.condition_at(time_s)
+        if condition == self._condition:
+            return
+        self.probe.set_condition(condition)
+        if (
+            self.recal_exhausted
+            and self._exhausted_condition is not None
+            and self._improved(self._exhausted_condition, condition)
+        ):
+            # The hardware got better on its own (an excursion ended);
+            # recalibration is worth attempting again.
+            self.recal_exhausted = False
+            self._exhausted_condition = None
+        self._condition = condition
+        self.error = self.probe.weight_error()
+
+    @staticmethod
+    def _improved(old: BankCondition, new: BankCondition) -> bool:
+        return (
+            new.ambient_k < old.ambient_k
+            or new.crosstalk_coupling < old.crosstalk_coupling
+            or new.tia_gain > old.tia_gain
+            or len(new.dead_rings) < len(old.dead_rings)
+            or len(new.stuck_rings) < len(old.stuck_rings)
+        )
+
+    def should_recalibrate(self, policy: RecalibrationPolicy) -> bool:
+        """Whether the policy triggers a recalibration attempt now."""
+        return not self.recal_exhausted and self.error >= policy.error_threshold
+
+    def recalibrate(self, policy: RecalibrationPolicy) -> CalibrationResult:
+        """Run the closed calibration loop and update the health state."""
+        result = self.probe.recalibrate(max_iterations=policy.max_iterations)
+        self.error = self.probe.weight_error()
+        if self.error <= policy.error_threshold:
+            # Fully compensated: the command now absorbs the current
+            # ambient shift and TIA droop, so replay measures drift
+            # from here.
+            self.compensated_shift_hz = self._condition.ambient_shift_hz
+            self.compensated_gain = self._condition.tia_gain
+        else:
+            self.recal_exhausted = True
+            self._exhausted_condition = self._condition
+        return result
+
+    @property
+    def residual_shift_hz(self) -> float:
+        """Ambient shift beyond the last successful compensation."""
+        return max(
+            self._condition.ambient_shift_hz - self.compensated_shift_hz, 0.0
+        )
+
+    @property
+    def residual_gain(self) -> float:
+        """TIA gain beyond the last successful compensation.
+
+        A successful recalibration boosts the commands to absorb the
+        gain droop, so the *output-visible* gain is the droop accrued
+        since then (capped at 1 — commands cannot attenuate).
+        """
+        if self.compensated_gain <= 0.0:
+            return self._condition.tia_gain
+        return min(self._condition.tia_gain / self.compensated_gain, 1.0)
+
+    def snapshot(self) -> CoreDriftSnapshot:
+        """The core's degradation right now, for the degraded replay."""
+        return CoreDriftSnapshot(
+            core=self.core,
+            residual_shift_hz=self.residual_shift_hz,
+            tia_gain=self.residual_gain,
+            dead_rings=self._condition.dead_rings,
+            stuck_rings=self._condition.stuck_rings,
+        )
+
+
+@dataclass(frozen=True)
+class DegradedServingReport(ServingReport):
+    """A :class:`ServingReport` plus everything degradation added.
+
+    Attributes:
+        schedule_name: the fault schedule that ran.
+        recalibration_name: the recalibration policy, or ``None``.
+        accuracy_proxy: per-batch worst measured weight error over the
+            cores the batch traversed (the photodiode-level accuracy
+            metric).
+        batch_num_cores: per-batch pipeline width (shrinks after
+            fault-aware repartitions).
+        batch_snapshots: per-batch per-stage drift snapshots, the input
+            to :func:`replay_on_engine_degraded`.
+        core_downtime_s: per-physical-core recalibration downtime.
+        final_core_errors: per-physical-core weight error at the end.
+        recalibrations: every recalibration attempt, in order.
+        repartitions: every fault-aware repartition, in order.
+    """
+
+    schedule_name: str
+    recalibration_name: str | None
+    accuracy_proxy: np.ndarray
+    batch_num_cores: np.ndarray
+    batch_snapshots: tuple[tuple[CoreDriftSnapshot, ...], ...]
+    core_downtime_s: tuple[float, ...]
+    final_core_errors: tuple[float, ...]
+    recalibrations: tuple[RecalibrationRecord, ...]
+    repartitions: tuple[RepartitionRecord, ...]
+
+    @property
+    def availability(self) -> tuple[float, ...]:
+        """Per-core fraction of the makespan not lost to recalibration."""
+        span = self.makespan_s
+        return tuple(
+            1.0 - downtime / span for downtime in self.core_downtime_s
+        )
+
+    @property
+    def mean_accuracy_proxy(self) -> float:
+        """Batch-weighted mean of the accuracy proxy."""
+        sizes = np.array([batch.size for batch in self.batches], dtype=float)
+        return float((self.accuracy_proxy * sizes).sum() / sizes.sum())
+
+    @property
+    def worst_accuracy_proxy(self) -> float:
+        """The worst per-batch accuracy proxy of the run."""
+        return float(self.accuracy_proxy.max())
+
+    @property
+    def final_accuracy_proxy(self) -> float:
+        """The last batch's accuracy proxy."""
+        return float(self.accuracy_proxy[-1])
+
+    def describe(self) -> str:
+        """The base summary block plus the degradation lines."""
+        availability = ", ".join(f"{a:.2%}" for a in self.availability)
+        lines = [
+            super().describe(),
+            f"  faults [{self.schedule_name}]: accuracy proxy mean "
+            f"{self.mean_accuracy_proxy:.3g}, worst "
+            f"{self.worst_accuracy_proxy:.3g} | "
+            f"{len(self.recalibrations)} recalibrations, "
+            f"{len(self.repartitions)} repartitions",
+            f"  availability {availability}",
+        ]
+        return "\n".join(lines)
+
+
+class DegradedServingSimulator:
+    """The serving event loop with hardware degradation on the clock.
+
+    Identical to :class:`~repro.core.traffic.ServingSimulator` except
+    that at every dispatch instant each core's drift state machine is
+    advanced, the recalibration policy may drain a core (downtime on the
+    shared clock), and the fault-aware scheduler may re-partition the
+    layers over the surviving cores.
+
+    Args:
+        model: the healthy per-core service model (initial pipeline).
+        policy: the batching policy.
+        schedule: the fault schedule to inject.
+        recalibration: online recalibration policy; ``None`` disables
+            recalibration entirely.
+        specs: the served network's conv layers; required for
+            fault-aware repartitioning (``None`` disables it).
+        config: hardware configuration used when repartitioning.
+        fail_error_threshold: weight error beyond which a core is
+            declared failed and drained out of the pipeline.
+        probe_rings: rings in each core's accuracy-probe bank.
+    """
+
+    def __init__(
+        self,
+        model: PipelineServiceModel,
+        policy: BatchingPolicy,
+        schedule: FaultSchedule,
+        recalibration: RecalibrationPolicy | None = None,
+        specs: list[ConvLayerSpec] | None = None,
+        config: PCNNAConfig | None = None,
+        fail_error_threshold: float = 0.5,
+        probe_rings: int = 8,
+    ) -> None:
+        if fail_error_threshold <= 0.0:
+            raise ValueError(
+                f"fail threshold must be positive, got "
+                f"{fail_error_threshold!r}"
+            )
+        self.model = model
+        self.policy = policy
+        self.schedule = schedule
+        self.recalibration = recalibration
+        self.specs = specs
+        self.config = config
+        self.fail_error_threshold = fail_error_threshold
+        self.probe_rings = probe_rings
+
+    def run(self, arrival_s: np.ndarray) -> DegradedServingReport:
+        """Serve a trace to completion under the fault schedule.
+
+        Raises:
+            ValueError: on an empty or unsorted trace.
+        """
+        arrivals = validate_arrival_trace(arrival_s)
+
+        model = self.model
+        policy = self.policy
+        num_requests = arrivals.size
+        width = model.num_cores
+        stage_to_core = list(range(width))
+        core_free = [0.0] * width
+        core_busy = [0.0] * width
+        downtime = [0.0] * width
+        states = [
+            CoreHealthState(core, self.schedule, self.probe_rings)
+            for core in range(width)
+        ]
+        dispatch_s = np.empty(num_requests)
+        completion_s = np.empty(num_requests)
+        batches: list[BatchRecord] = []
+        proxies: list[float] = []
+        widths: list[int] = []
+        snapshots: list[tuple[CoreDriftSnapshot, ...]] = []
+        recalibrations: list[RecalibrationRecord] = []
+        repartitions: list[RepartitionRecord] = []
+
+        head = 0
+        while head < num_requests:
+            dispatch, size = plan_dispatch(arrivals, head, policy, core_free[0])
+
+            # -- substrate: advance every serving core to this instant --
+            for core in stage_to_core:
+                states[core].advance_to(dispatch)
+
+            # -- recalibration: drain a core, pay downtime on the clock --
+            if self.recalibration is not None:
+                for stage, core in enumerate(stage_to_core):
+                    state = states[core]
+                    if not state.should_recalibrate(self.recalibration):
+                        continue
+                    result = state.recalibrate(self.recalibration)
+                    cost = self.recalibration.downtime_s(result.iterations)
+                    core_free[stage] = max(core_free[stage], dispatch) + cost
+                    downtime[core] += cost
+                    recalibrations.append(
+                        RecalibrationRecord(
+                            time_s=dispatch,
+                            core=core,
+                            iterations=result.iterations,
+                            residual=state.error,
+                            downtime_s=cost,
+                            restored=state.error
+                            <= self.recalibration.error_threshold,
+                        )
+                    )
+
+            # -- fault-aware scheduler: drain and re-partition around
+            #    cores degraded beyond recalibration's reach --
+            if self.specs is not None and len(stage_to_core) > 1:
+                failing = [
+                    core
+                    for core in stage_to_core
+                    if states[core].error >= self.fail_error_threshold
+                ]
+                if failing and len(failing) < len(stage_to_core):
+                    survivors = [
+                        core for core in stage_to_core if core not in failing
+                    ]
+                    drain = max(core_free)
+                    model = PipelineServiceModel.from_specs(
+                        self.specs,
+                        len(survivors),
+                        self.config,
+                        clamp_cores=True,
+                    )
+                    stage_to_core = survivors
+                    core_free = [drain] * len(survivors)
+                    repartitions.append(
+                        RepartitionRecord(
+                            time_s=dispatch,
+                            failed_cores=tuple(failing),
+                            num_cores_after=len(survivors),
+                        )
+                    )
+
+            # -- dispatch on the current pipeline (base-loop arithmetic) --
+            start = dispatch
+            for stage in range(model.num_cores):
+                begun = max(start, core_free[stage])
+                busy = model.core_busy_s(stage, size)
+                start = begun + busy
+                core_free[stage] = start
+                core_busy[stage_to_core[stage]] += busy
+            batches.append(
+                BatchRecord(
+                    index=len(batches),
+                    first_request=head,
+                    size=size,
+                    dispatch_s=dispatch,
+                    completion_s=start,
+                )
+            )
+            proxies.append(max(states[core].error for core in stage_to_core))
+            widths.append(model.num_cores)
+            snapshots.append(
+                tuple(states[core].snapshot() for core in stage_to_core)
+            )
+            dispatch_s[head : head + size] = dispatch
+            completion_s[head : head + size] = start
+            head += size
+
+        # Drained cores stop being advanced by the dispatch loop; bring
+        # every state to the final dispatch instant so final_core_errors
+        # reports end-of-run degradation, not drain-time snapshots.
+        final_time = batches[-1].dispatch_s
+        for state in states:
+            state.advance_to(final_time)
+
+        return DegradedServingReport(
+            policy=policy,
+            num_cores=width,
+            arrival_s=arrivals,
+            dispatch_s=dispatch_s,
+            completion_s=completion_s,
+            batches=tuple(batches),
+            core_busy_s=tuple(core_busy),
+            schedule_name=self.schedule.name,
+            recalibration_name=(
+                None if self.recalibration is None else self.recalibration.name
+            ),
+            accuracy_proxy=np.array(proxies),
+            batch_num_cores=np.array(widths, dtype=int),
+            batch_snapshots=tuple(snapshots),
+            core_downtime_s=tuple(downtime),
+            final_core_errors=tuple(state.error for state in states),
+            recalibrations=tuple(recalibrations),
+            repartitions=tuple(repartitions),
+        )
+
+
+def simulate_degraded_serving(
+    network: Network,
+    arrival_s: np.ndarray,
+    policy: BatchingPolicy,
+    schedule: FaultSchedule,
+    num_cores: int,
+    recalibration: RecalibrationPolicy | None = None,
+    config: PCNNAConfig | None = None,
+    clamp_cores: bool = False,
+    repartition: bool = True,
+    fail_error_threshold: float = 0.5,
+) -> DegradedServingReport:
+    """One-call degraded serving simulation for an executable network.
+
+    Raises:
+        ValueError: on a conv-free network, invalid ``num_cores``, or a
+            bad trace.
+    """
+    specs = network.conv_specs()
+    model = PipelineServiceModel.from_specs(
+        specs, num_cores, config, clamp_cores
+    )
+    simulator = DegradedServingSimulator(
+        model,
+        policy,
+        schedule,
+        recalibration=recalibration,
+        specs=specs if repartition else None,
+        config=config,
+        fail_error_threshold=fail_error_threshold,
+    )
+    return simulator.run(arrival_s)
+
+
+@dataclass(frozen=True)
+class DegradedReplay:
+    """Degraded engine replay of a simulated schedule.
+
+    Attributes:
+        outputs: per-request outputs with each batch's conv weights
+            pushed through the cores' measured drift transfer.
+        reference_outputs: the same batches executed fault-free.
+        divergence_per_batch: per-batch ``max |degraded - reference|``
+            — the golden-output divergence the accuracy proxy bounds.
+    """
+
+    outputs: np.ndarray
+    reference_outputs: np.ndarray
+    divergence_per_batch: np.ndarray
+
+    @property
+    def max_divergence(self) -> float:
+        """Worst per-batch golden-output divergence."""
+        return float(self.divergence_per_batch.max())
+
+
+def _degraded_conv_weights(
+    weights: np.ndarray, snapshot: CoreDriftSnapshot
+) -> np.ndarray:
+    """Push one conv layer's kernels through a core's drift transfer.
+
+    The engine programs each kernel into its weight bank after an affine
+    scale to ``[-1, 1]`` (per-kernel max-abs, the scaling
+    :class:`~repro.core.accelerator.PhotonicConvolution` applies), so
+    the drift acts in the bank domain: normalize per kernel, apply the
+    commanded→effective map, pin dead-ring bank positions to the rail
+    (``-tia_gain``), and scale back.
+    """
+    kernels = weights.reshape(weights.shape[0], -1)
+    scales = np.max(np.abs(kernels), axis=1, keepdims=True)
+    safe = np.where(scales > 0.0, scales, 1.0)
+    normalized = kernels / safe
+    effective = drift_transfer(
+        normalized, snapshot.residual_shift_hz, snapshot.tia_gain
+    )
+    if snapshot.dead_rings:
+        positions = np.unique(
+            [ring % kernels.shape[1] for ring in snapshot.dead_rings]
+        )
+        effective[:, positions] = -snapshot.tia_gain
+    # Scale back by the true per-kernel scale: all-zero kernels stay zero.
+    return (effective * scales).reshape(weights.shape)
+
+
+def _degraded_network(
+    network: Network,
+    snapshots: tuple[CoreDriftSnapshot, ...],
+    config: PCNNAConfig | None,
+) -> Network:
+    """The network with each core's conv layers drift-perturbed."""
+    _, slices = stage_layer_slices(
+        network, len(snapshots), config, clamp_cores=True
+    )
+    layers = list(network.layers)
+    for (start, end), snapshot in zip(slices, snapshots):
+        if snapshot.pristine:
+            continue
+        for index in range(start, end):
+            layer = network.layers[index]
+            if not isinstance(layer, Conv2D):
+                continue
+            layers[index] = Conv2D(
+                _degraded_conv_weights(layer.weights, snapshot),
+                stride=layer.stride,
+                padding=layer.padding,
+                bias=layer.bias,
+                name=layer.name,
+            )
+    return Network(
+        layers, input_shape=network.input_shape, name=f"{network.name}/degraded"
+    )
+
+
+def replay_on_engine_degraded(
+    network: Network,
+    report: DegradedServingReport,
+    inputs: np.ndarray,
+    config: PCNNAConfig | None = None,
+) -> DegradedReplay:
+    """Execute a degraded schedule's batches on the real engine.
+
+    Each simulated batch runs twice through
+    :func:`~repro.core.serving.run_network_pipelined` at the pipeline
+    width the batch actually saw: once fault-free and once with every
+    core's conv weights pushed through that core's measured drift
+    transfer (:func:`~repro.photonics.drift.drift_transfer`, dead rings
+    pinned to the rail).  The per-batch max divergence is the
+    golden-output error the simulator's photodiode-level accuracy proxy
+    is a bound for.  Under a zero-magnitude schedule every snapshot is
+    pristine and the degraded outputs are bit-identical to
+    :func:`~repro.core.traffic.replay_on_engine`.
+
+    Args:
+        network: the served network.
+        report: a degraded simulation over ``inputs.shape[0]`` requests.
+        inputs: per-request inputs.
+        config: hardware configuration for execution.
+
+    Returns:
+        A :class:`DegradedReplay`.
+
+    Raises:
+        ValueError: if ``inputs`` does not cover the report's requests.
+    """
+    inputs = validate_replay_inputs(network, report, inputs)
+    outputs: np.ndarray | None = None
+    reference: np.ndarray | None = None
+    divergence = np.empty(len(report.batches))
+    for batch, snapshots in zip(report.batches, report.batch_snapshots):
+        stop = batch.first_request + batch.size
+        window = inputs[batch.first_request : stop]
+        width = len(snapshots)
+        clean = run_network_pipelined(network, window, width, config)
+        if all(snapshot.pristine for snapshot in snapshots):
+            # Healthy batch: the degraded run is the clean run by
+            # construction, so skip the second engine pass.
+            degraded_outputs = clean.outputs
+        else:
+            degraded_net = _degraded_network(network, snapshots, config)
+            degraded_outputs = run_network_pipelined(
+                degraded_net, window, width, config
+            ).outputs
+        if outputs is None:
+            shape = (report.num_requests, *clean.outputs.shape[1:])
+            outputs = np.empty(shape)
+            reference = np.empty(shape)
+        outputs[batch.first_request : stop] = degraded_outputs
+        reference[batch.first_request : stop] = clean.outputs
+        divergence[batch.index] = float(
+            np.max(np.abs(degraded_outputs - clean.outputs))
+        )
+    assert outputs is not None and reference is not None
+    return DegradedReplay(
+        outputs=outputs,
+        reference_outputs=reference,
+        divergence_per_batch=divergence,
+    )
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "RecalibrationPolicy",
+    "RecalibrationRecord",
+    "RepartitionRecord",
+    "CoreDriftSnapshot",
+    "CoreHealthState",
+    "DegradedServingReport",
+    "DegradedServingSimulator",
+    "DegradedReplay",
+    "simulate_degraded_serving",
+    "replay_on_engine_degraded",
+]

@@ -354,6 +354,84 @@ class ServingReport:
         )
 
 
+def validate_arrival_trace(arrival_s: np.ndarray) -> np.ndarray:
+    """Validate and normalize a request arrival trace.
+
+    Shared by every simulator front door (including the fault-injection
+    engine in :mod:`repro.core.faults`), so a bad trace fails with the
+    same message everywhere.
+
+    Raises:
+        ValueError: on an empty, non-1-D, or unsorted trace.
+    """
+    arrivals = np.asarray(arrival_s, dtype=float)
+    if arrivals.ndim != 1 or arrivals.size == 0:
+        raise ValueError(
+            f"need a non-empty 1-D arrival trace, got shape "
+            f"{arrivals.shape}"
+        )
+    if np.any(np.diff(arrivals) < 0.0):
+        raise ValueError("arrival times must be sorted ascending")
+    return arrivals
+
+
+def validate_replay_inputs(
+    network: Network, report: ServingReport, inputs: np.ndarray
+) -> np.ndarray:
+    """Validate per-request inputs against a simulated report.
+
+    Shared by every engine-replay front door (including the degraded
+    replay in :mod:`repro.core.faults`).
+
+    Raises:
+        ValueError: if ``inputs`` does not cover the report's requests.
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    expected = (report.num_requests, *network.input_shape)
+    if inputs.shape != expected:
+        raise ValueError(
+            f"need one input per simulated request, expected {expected}, "
+            f"got {inputs.shape}"
+        )
+    return inputs
+
+
+def plan_dispatch(
+    arrivals: np.ndarray,
+    head: int,
+    policy: BatchingPolicy,
+    core0_free_s: float,
+) -> tuple[float, int]:
+    """When does the queue head's batch dispatch, and how big is it?
+
+    The batch is sealed at the latest of: the head's arrival, core 0
+    freeing up, and the policy trigger (batch full or head's wait budget
+    exhausted).  This single function is the scheduler's entire batching
+    decision; the fault-aware simulator shares it verbatim, which is
+    what makes a zero-magnitude fault run *bit-identical* to the
+    fault-free simulator — both plan every dispatch with the exact same
+    float arithmetic.
+
+    Returns:
+        ``(dispatch_s, size)`` for the batch starting at ``head``.
+    """
+    earliest = max(arrivals[head], core0_free_s)
+    full_index = head + policy.max_batch - 1
+    fills_at = (
+        arrivals[full_index] if full_index < arrivals.size else math.inf
+    )
+    deadline = arrivals[head] + policy.max_wait_s
+    dispatch = max(earliest, min(deadline, fills_at))
+    if math.isinf(dispatch):
+        # Fixed-size tail: the batch can never fill and the head may
+        # wait forever, so flush everything left as one final partial
+        # batch once the last request has arrived.
+        dispatch = max(core0_free_s, arrivals[-1])
+    queued = int(np.searchsorted(arrivals, dispatch, side="right") - head)
+    size = max(1, min(policy.max_batch, queued))
+    return dispatch, size
+
+
 class ServingSimulator:
     """Discrete-event closed loop: queue -> batcher -> core pipeline.
 
@@ -380,14 +458,7 @@ class ServingSimulator:
         Raises:
             ValueError: on an empty or unsorted trace.
         """
-        arrivals = np.asarray(arrival_s, dtype=float)
-        if arrivals.ndim != 1 or arrivals.size == 0:
-            raise ValueError(
-                f"need a non-empty 1-D arrival trace, got shape "
-                f"{arrivals.shape}"
-            )
-        if np.any(np.diff(arrivals) < 0.0):
-            raise ValueError("arrival times must be sorted ascending")
+        arrivals = validate_arrival_trace(arrival_s)
 
         model = self.model
         policy = self.policy
@@ -401,27 +472,7 @@ class ServingSimulator:
 
         head = 0
         while head < num_requests:
-            # The batch is sealed at the latest of: the head's arrival,
-            # core 0 freeing up, and the policy trigger (batch full or
-            # head's wait budget exhausted).
-            earliest = max(arrivals[head], core_free[0])
-            full_index = head + policy.max_batch - 1
-            fills_at = (
-                arrivals[full_index]
-                if full_index < num_requests
-                else math.inf
-            )
-            deadline = arrivals[head] + policy.max_wait_s
-            dispatch = max(earliest, min(deadline, fills_at))
-            if math.isinf(dispatch):
-                # Fixed-size tail: the batch can never fill and the head
-                # may wait forever, so flush everything left as one
-                # final partial batch once the last request has arrived.
-                dispatch = max(core_free[0], arrivals[-1])
-            queued = int(
-                np.searchsorted(arrivals, dispatch, side="right") - head
-            )
-            size = max(1, min(policy.max_batch, queued))
+            dispatch, size = plan_dispatch(arrivals, head, policy, core_free[0])
 
             start = dispatch
             for core in range(num_cores):
@@ -504,13 +555,7 @@ def replay_on_engine(
     Raises:
         ValueError: if ``inputs`` does not cover the report's requests.
     """
-    inputs = np.asarray(inputs, dtype=float)
-    expected = (report.num_requests, *network.input_shape)
-    if inputs.shape != expected:
-        raise ValueError(
-            f"need one input per simulated request, expected {expected}, "
-            f"got {inputs.shape}"
-        )
+    inputs = validate_replay_inputs(network, report, inputs)
     outputs: np.ndarray | None = None
     for batch in report.batches:
         stop = batch.first_request + batch.size

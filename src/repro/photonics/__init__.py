@@ -16,6 +16,12 @@ from repro.photonics.calibration import (
     calibrate_bank,
     measure_effective_weights,
 )
+from repro.photonics.drift import (
+    BankCondition,
+    DriftingWeightBank,
+    default_probe_targets,
+    drift_transfer,
+)
 from repro.photonics.laser import LaserBank, LaserSpec
 from repro.photonics.link_budget import LinkBudget, max_banks_for_bits
 from repro.photonics.microring import (
@@ -53,6 +59,10 @@ __all__ = [
     "CalibrationResult",
     "calibrate_bank",
     "measure_effective_weights",
+    "BankCondition",
+    "DriftingWeightBank",
+    "default_probe_targets",
+    "drift_transfer",
     "LaserBank",
     "LaserSpec",
     "LinkBudget",

@@ -1,0 +1,377 @@
+"""Time-dependent drift and fault state on microring weight banks.
+
+:mod:`repro.photonics.thermal` models a *static* thermal environment and
+:mod:`repro.photonics.calibration` the feedback loop that compensates it.
+Degraded-mode serving needs the piece between them: a weight bank whose
+physical condition *changes over simulated time* — ambient temperature
+ramps detune every ring together, heater-crosstalk excursions mix the
+commanded detunings, individual rings die (heater open-circuit, parked
+far off resonance) or stick (heater frozen at its last command), and the
+TIA behind the balanced photodiode pair loses gain as it ages.
+
+Two layers are provided:
+
+* :class:`DriftingWeightBank` — a real :class:`~repro.photonics
+  .weight_bank.WeightBank` wrapped with a mutable :class:`BankCondition`.
+  The wrapper exposes the same probe surface calibration uses
+  (``num_rings`` / ``set_weights`` / ``effective_weights``), so
+  :func:`~repro.photonics.calibration.calibrate_bank` runs *unchanged*
+  against the degraded bank: the closed loop measures the drifted
+  balanced-detection readout and re-commands around it, exactly the
+  online-recalibration move deployed systems make.  Dead rings cannot be
+  re-commanded and stuck rings hold their frozen command, so calibration
+  converges only as far as physics allows — the residual is the honest
+  post-recalibration accuracy bound.
+* :func:`drift_transfer` — the same commanded-weight → effective-weight
+  map as a closed-form vectorized function, applied to whole weight
+  tensors at once.  The serving engine uses it to replay a degraded
+  schedule on the executable network and measure golden-output
+  divergence per batch (see :mod:`repro.core.faults`).
+
+Both layers share one physical model: a commanded weight ``w`` becomes a
+drop target ``(1 + w) / 2``, the inverse Lorentzian yields a non-negative
+detuning, ambient drift *adds* to that detuning (thermal tuners shift one
+way, which is why drift beyond the command headroom cannot be fully
+recalibrated away), and the balanced readout is scaled by the TIA gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.calibration import CalibrationResult, calibrate_bank
+from repro.photonics.microring import (
+    MicroringDesign,
+    detunings_for_drop,
+    drop_transmission_profile,
+)
+from repro.photonics.noise import NoiseConfig
+from repro.photonics.thermal import SILICON_THERMAL_SHIFT_HZ_PER_K, ThermalModel
+from repro.photonics.wdm import WdmGrid
+from repro.photonics.weight_bank import _MAX_DETUNING_LINEWIDTHS, WeightBank
+
+DEFAULT_PROBE_RINGS = 8
+"""Rings in the canonical per-core accuracy-probe bank."""
+
+DEFAULT_PROBE_QUALITY_FACTOR = 20_000.0
+"""Loaded Q of the probe rings (narrow enough that K-scale drift bites)."""
+
+_PARKED_DETUNING_LINEWIDTHS = _MAX_DETUNING_LINEWIDTHS
+"""Where a dead ring's resonance is parked, in linewidths (drop ~ 0) —
+the weight banks' own zero-drop parking convention, shared so dead-ring
+readouts here agree with bank physics."""
+
+
+def default_probe_targets(num_rings: int = DEFAULT_PROBE_RINGS) -> np.ndarray:
+    """The canonical probe weight vector: a signed ramp across the bank.
+
+    Mixed signs exercise both Lorentzian flanks; the positive-weight
+    rings (small detuning, little command headroom) are the ones ambient
+    drift degrades first, so the max error over this vector is a
+    conservative per-core accuracy proxy.
+
+    Raises:
+        ValueError: if ``num_rings`` is below one.
+    """
+    if num_rings < 1:
+        raise ValueError(f"need at least one probe ring, got {num_rings!r}")
+    if num_rings == 1:
+        return np.array([0.75])
+    return np.linspace(-0.75, 0.75, num_rings)
+
+
+@dataclass(frozen=True)
+class BankCondition:
+    """The physical condition of a drifting bank at one simulated instant.
+
+    Attributes:
+        ambient_k: accumulated ambient temperature offset from the
+            calibration point (K); shifts every resonance together.
+        crosstalk_coupling: heater coupling to nearest neighbours
+            (excursions raise it above the design baseline).
+        dead_rings: indices of rings parked far off resonance (their
+            effective weight is pinned near ``-tia_gain``).
+        stuck_rings: indices of rings whose heater is frozen — they hold
+            the command they had when they stuck and ignore later ones.
+        tia_gain: multiplicative gain of the TIA behind the balanced
+            photodiode pair (droops below 1 as the receiver ages).
+    """
+
+    ambient_k: float = 0.0
+    crosstalk_coupling: float = 0.0
+    dead_rings: tuple[int, ...] = ()
+    stuck_rings: tuple[int, ...] = ()
+    tia_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ambient_k < 0.0 or not np.isfinite(self.ambient_k):
+            raise ValueError(
+                f"ambient drift must be finite and >= 0, got {self.ambient_k!r}"
+            )
+        if not 0.0 <= self.crosstalk_coupling < 1.0:
+            raise ValueError(
+                f"coupling must be in [0, 1), got {self.crosstalk_coupling!r}"
+            )
+        if not 0.0 <= self.tia_gain <= 1.0:
+            raise ValueError(
+                f"TIA gain must be in [0, 1], got {self.tia_gain!r}"
+            )
+
+    @property
+    def ambient_shift_hz(self) -> float:
+        """The uniform resonance shift the ambient offset causes."""
+        return self.ambient_k * SILICON_THERMAL_SHIFT_HZ_PER_K
+
+    @property
+    def pristine(self) -> bool:
+        """Whether this condition perturbs nothing at all."""
+        return (
+            self.ambient_k == 0.0
+            and self.crosstalk_coupling == 0.0
+            and not self.dead_rings
+            and not self.stuck_rings
+            and self.tia_gain == 1.0
+        )
+
+
+class DriftingWeightBank:
+    """A weight bank whose physical condition degrades over time.
+
+    The wrapper owns a crosstalk-aware :class:`WeightBank` (so the
+    balanced-detection readout reflects real Lorentzian physics, not the
+    calibrated lookup) and re-derives the full perturbation from scratch
+    on every command or condition change: commanded weights are written
+    to the rings, the thermal model mixes and shifts the detunings, dead
+    rings are parked and stuck rings restored.  Nothing compounds across
+    calls, so the state is a pure function of (command, condition) and
+    every measurement is bit-reproducible.
+
+    The probe surface (``num_rings`` / ``set_weights`` /
+    ``effective_weights``) matches :class:`WeightBank`, which is what
+    lets :func:`~repro.photonics.calibration.calibrate_bank` drive the
+    degraded bank directly.
+
+    Args:
+        targets: the weight vector the bank is supposed to realize.
+        num_rings: bank size (defaults to the target length).
+        design: ring design; defaults to a Q=20k probe ring.
+        seed: seed for the bank's (deterministic-crosstalk) noise config.
+    """
+
+    def __init__(
+        self,
+        targets: np.ndarray | None = None,
+        num_rings: int | None = None,
+        design: MicroringDesign | None = None,
+        seed: int = 0,
+    ) -> None:
+        if targets is None:
+            targets = default_probe_targets(
+                num_rings if num_rings is not None else DEFAULT_PROBE_RINGS
+            )
+        self.targets = np.asarray(targets, dtype=float)
+        if self.targets.ndim != 1 or self.targets.size == 0:
+            raise ValueError(
+                f"need a non-empty 1-D target vector, got shape "
+                f"{self.targets.shape}"
+            )
+        if num_rings is not None and num_rings != self.targets.size:
+            raise ValueError(
+                f"{num_rings} rings cannot realize {self.targets.size} targets"
+            )
+        self.design = (
+            design
+            if design is not None
+            else MicroringDesign(quality_factor=DEFAULT_PROBE_QUALITY_FACTOR)
+        )
+        # Crosstalk on (deterministic Lorentzian physics), random effects
+        # off: the probe must be exactly reproducible under a fixed seed.
+        noise = NoiseConfig(
+            enabled=True,
+            shot_noise=False,
+            thermal_noise=False,
+            crosstalk=True,
+            seed=seed,
+        )
+        self.bank = WeightBank(WdmGrid(self.targets.size), self.design, noise)
+        self.condition = BankCondition()
+        self._commanded = self.targets.copy()
+        self._stuck_commands: dict[int, float] = {}
+        self._retune()
+
+    @property
+    def num_rings(self) -> int:
+        """Rings in the bank (the probe surface calibration reads)."""
+        return self.bank.num_rings
+
+    @property
+    def commanded(self) -> np.ndarray:
+        """The last honoured command vector (copy)."""
+        return self._commanded.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Command the bank, honouring frozen (stuck) rings.
+
+        Stuck rings keep the command they had when they stuck no matter
+        what is asked — that is what a frozen heater does — so the
+        calibration loop sees its correction silently not taken there.
+
+        Raises:
+            ValueError: on a malformed or out-of-range command vector
+                (same contract as :meth:`WeightBank.set_weights`).
+        """
+        asked = np.asarray(weights, dtype=float)
+        if asked.shape != (self.num_rings,):
+            raise ValueError(
+                f"expected {self.num_rings} weights, got shape {asked.shape}"
+            )
+        honoured = asked.copy()
+        for ring, frozen in self._stuck_commands.items():
+            honoured[ring] = frozen
+        self.bank.set_weights(honoured)  # validates range
+        self._commanded = honoured
+        self._retune(skip_command=True)
+
+    def effective_weights(self) -> np.ndarray:
+        """The balanced-detection readout under the current condition.
+
+        This is the photodiode-level measurement: per-channel ``drop -
+        through`` through the real (drifted) Lorentzian bank, scaled by
+        the TIA gain.
+        """
+        return self.condition.tia_gain * self.bank.effective_weights()
+
+    def set_condition(self, condition: BankCondition) -> None:
+        """Move the bank to a new physical condition and re-derive state.
+
+        Rings newly listed as stuck freeze at their *current* command;
+        rings that leave the stuck list thaw and accept commands again.
+        """
+        previous = self.condition
+        self.condition = condition
+        if condition.stuck_rings != previous.stuck_rings:
+            # Key by the wrapped index (dead rings wrap the same way in
+            # _retune), so out-of-range schedule indices stay valid when
+            # set_weights applies the frozen commands.
+            kept: dict[int, float] = {}
+            for ring in condition.stuck_rings:
+                index = ring % self.num_rings
+                kept[index] = self._stuck_commands.get(
+                    index, float(self._commanded[index])
+                )
+            self._stuck_commands = kept
+        self._retune()
+
+    def _retune(self, skip_command: bool = False) -> None:
+        """Recompute every detuning from (command, condition)."""
+        if not skip_command:
+            self.bank.set_weights(self._commanded)
+        condition = self.condition
+        if condition.ambient_k > 0.0 or condition.crosstalk_coupling > 0.0:
+            ThermalModel(
+                crosstalk_coupling=condition.crosstalk_coupling,
+                ambient_drift_k=condition.ambient_k,
+            ).apply(self.bank)
+        for ring_index in condition.dead_rings:
+            ring = self.bank.rings[ring_index % self.num_rings]
+            ring.detuning_hz = _PARKED_DETUNING_LINEWIDTHS * ring.linewidth_hz
+
+    def weight_error(self) -> float:
+        """Max |readout - target| — the per-bank accuracy proxy."""
+        return float(
+            np.max(np.abs(self.effective_weights() - self.targets))
+        )
+
+    def recalibrate(
+        self,
+        max_iterations: int = 20,
+        tolerance: float = 1e-6,
+        gain: float = 1.0,
+    ) -> CalibrationResult:
+        """Run the closed calibration loop against the degraded bank.
+
+        :func:`~repro.photonics.calibration.calibrate_bank` measures the
+        drifted readout and iterates the command; ambient drift within
+        the command headroom is compensated, dead and stuck rings are
+        not, and the returned residual is the honest remaining error.
+        """
+        return calibrate_bank(
+            self,
+            self.targets,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            gain=gain,
+        )
+
+
+def drift_transfer(
+    weights: np.ndarray,
+    ambient_shift_hz: float,
+    tia_gain: float = 1.0,
+    design: MicroringDesign | None = None,
+    channel_hz: float | None = None,
+) -> np.ndarray:
+    """Commanded-weight → effective-weight map under drift, vectorized.
+
+    The closed-form single-ring counterpart of
+    :class:`DriftingWeightBank` (own-channel response only — the serving
+    engine uses it to perturb whole conv-kernel tensors at once when
+    replaying a degraded schedule): each commanded weight ``w`` in
+    ``[-1, 1]`` is inverted to its non-negative detuning, the uniform
+    ambient shift is added, and the drifted Lorentzian drop response is
+    read back through a TIA of gain ``tia_gain``.
+
+    Args:
+        weights: commanded weights, any shape, each in ``[-1, 1]``.
+        ambient_shift_hz: uniform resonance shift (>= 0; thermal tuners
+            and drift push the same way, so the shift always adds).
+        tia_gain: readout gain in ``[0, 1]``.
+        design: ring design (defaults to the probe design).
+        channel_hz: carrier frequency setting the linewidth; defaults to
+            the center of a single-channel default grid.
+
+    Returns:
+        Effective weights, same shape as ``weights``, each in
+        ``[-tia_gain, tia_gain]``.
+
+    Raises:
+        ValueError: on out-of-range weights, a negative or non-finite
+            shift, or a TIA gain outside ``[0, 1]``.
+    """
+    commanded = np.asarray(weights, dtype=float)
+    if np.any(np.abs(commanded) > 1.0 + 1e-12):
+        raise ValueError("commanded weights must lie in [-1, 1]")
+    if ambient_shift_hz < 0.0 or not np.isfinite(ambient_shift_hz):
+        raise ValueError(
+            f"ambient shift must be finite and >= 0, got {ambient_shift_hz!r}"
+        )
+    if not 0.0 <= tia_gain <= 1.0:
+        raise ValueError(f"TIA gain must be in [0, 1], got {tia_gain!r}")
+    chosen = (
+        design
+        if design is not None
+        else MicroringDesign(quality_factor=DEFAULT_PROBE_QUALITY_FACTOR)
+    )
+    carrier = channel_hz if channel_hz is not None else WdmGrid(1).frequency_of(0)
+    linewidth = chosen.linewidth_hz(carrier)
+    peak = chosen.peak_drop_transmission
+    drops = np.minimum((1.0 + np.clip(commanded, -1.0, 1.0)) / 2.0 * peak, peak)
+    detunings = detunings_for_drop(
+        drops, linewidth, peak, _PARKED_DETUNING_LINEWIDTHS
+    )
+    drifted_drop = drop_transmission_profile(
+        0.0, detunings + ambient_shift_hz, linewidth, peak
+    )
+    return tia_gain * (2.0 * np.asarray(drifted_drop, dtype=float) - 1.0)
+
+
+__all__ = [
+    "DEFAULT_PROBE_RINGS",
+    "DEFAULT_PROBE_QUALITY_FACTOR",
+    "BankCondition",
+    "DriftingWeightBank",
+    "default_probe_targets",
+    "drift_transfer",
+]

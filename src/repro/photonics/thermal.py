@@ -52,8 +52,19 @@ class ThermalModel:
 
         Diagonal is 1 (a heater fully tunes its own ring); off-diagonals
         decay geometrically with ring distance.
+
+        Raises:
+            ValueError: if ``num_rings`` is not an integer >= 1 (a float
+                count used to build a silently mis-sized matrix via
+                ``np.arange`` truncation).
         """
-        if num_rings <= 0:
+        if isinstance(num_rings, bool) or not isinstance(
+            num_rings, (int, np.integer)
+        ):
+            raise ValueError(
+                f"ring count must be an integer >= 1, got {num_rings!r}"
+            )
+        if num_rings < 1:
             raise ValueError(f"need at least one ring, got {num_rings!r}")
         indices = np.arange(num_rings)
         distance = np.abs(indices[:, None] - indices[None, :])

@@ -9,6 +9,10 @@ from repro.workloads.googlenet import (
     googlenet_conv_specs,
     inception_module_specs,
 )
+from repro.workloads.fault_scenarios import (
+    FAULT_SCENARIOS,
+    fault_scenario,
+)
 from repro.workloads.serving import (
     SERVING_NETWORKS,
     serving_batch,
@@ -35,6 +39,8 @@ __all__ = [
     "alexnet_layer",
     "googlenet_conv_specs",
     "inception_module_specs",
+    "FAULT_SCENARIOS",
+    "fault_scenario",
     "SERVING_NETWORKS",
     "serving_batch",
     "serving_network",

@@ -21,8 +21,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.core.faults import (
+    FaultEvent,
+    FaultSchedule,
+    RecalibrationPolicy,
+    replay_on_engine_degraded,
+    simulate_degraded_serving,
+)
+from repro.core.traffic import BatchingPolicy
 from repro.nn.layers import Conv2D
-from repro.workloads import serving_batch, serving_network
+from repro.workloads import poisson_arrivals, serving_batch, serving_network
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 BATCH = 2
@@ -36,6 +44,76 @@ CASES: tuple[tuple[str, str], ...] = (
     ("googlenet-stem", "ideal"),
     ("googlenet-stem", "quantized"),
 )
+
+# -- canonical faulted LeNet-5 serving trace (PR 4) -----------------------
+FAULTED_REQUESTS = 10
+FAULTED_ARRIVAL_SEED = 21
+FAULTED_ARRIVAL_RATE_RPS = 2e4
+FAULTED_CORES = 2
+FAULTED_DRIFT_TOTAL_K = 0.08  # ambient accumulated over the trace
+FAULTED_DEAD_RING_AT = 0.6  # fraction of the horizon
+
+
+def faulted_schedule(horizon_s: float) -> FaultSchedule:
+    """The canonical fault schedule: both cores drift, core 1 loses a
+    ring late in the trace (severe, unrecalibratable degradation)."""
+    rate = FAULTED_DRIFT_TOTAL_K / horizon_s
+    return FaultSchedule(
+        name="golden-faulted",
+        events=(
+            FaultEvent("thermal_ramp", 0, 0.0, rate),
+            FaultEvent("thermal_ramp", 1, 0.0, rate),
+            FaultEvent(
+                "dead_rings",
+                1,
+                FAULTED_DEAD_RING_AT * horizon_s,
+                1.0,
+                rings=(7,),
+            ),
+        ),
+    )
+
+
+def compute_faulted_trace() -> dict[str, np.ndarray]:
+    """One deterministic degraded-mode serving trace end to end.
+
+    Covers the whole PR 4 surface in one fixture: drift state machines,
+    the online recalibration policy (downtime accounting), the per-batch
+    photodiode-level accuracy proxy, and the degraded engine replay with
+    its golden-output divergence.
+    """
+    network = serving_network("lenet5", seed=WEIGHT_SEED)
+    inputs = serving_batch(network, FAULTED_REQUESTS, seed=INPUT_SEED)
+    arrivals = poisson_arrivals(
+        FAULTED_ARRIVAL_RATE_RPS, FAULTED_REQUESTS, seed=FAULTED_ARRIVAL_SEED
+    )
+    report = simulate_degraded_serving(
+        network,
+        arrivals,
+        BatchingPolicy.dynamic(4, 1e-4),
+        faulted_schedule(float(arrivals[-1])),
+        num_cores=FAULTED_CORES,
+        recalibration=RecalibrationPolicy(),
+        repartition=False,
+    )
+    replay = replay_on_engine_degraded(network, report, inputs)
+    return {
+        "inputs_sha256": input_digest(inputs),
+        "arrival_s": report.arrival_s,
+        "dispatch_s": report.dispatch_s,
+        "completion_s": report.completion_s,
+        "batch_sizes": np.array([b.size for b in report.batches]),
+        "accuracy_proxy": report.accuracy_proxy,
+        "core_downtime_s": np.array(report.core_downtime_s),
+        "outputs": replay.outputs,
+        "reference_outputs": replay.reference_outputs,
+        "divergence_per_batch": replay.divergence_per_batch,
+        "meta_requests": np.array(FAULTED_REQUESTS),
+        "meta_input_seed": np.array(INPUT_SEED),
+        "meta_weight_seed": np.array(WEIGHT_SEED),
+        "meta_arrival_seed": np.array(FAULTED_ARRIVAL_SEED),
+        "meta_drift_total_k": np.array(FAULTED_DRIFT_TOTAL_K),
+    }
 
 
 def build_accelerator(mode: str) -> PCNNA:
@@ -98,6 +176,14 @@ def main() -> None:
             f"(outputs {trace['outputs'].shape}, "
             f"conv {trace['first_conv_maps'].shape})"
         )
+    faulted = compute_faulted_trace()
+    faulted_path = fixture_path("lenet5", "faulted")
+    np.savez_compressed(faulted_path, **faulted)
+    print(
+        f"wrote {faulted_path.relative_to(GOLDEN_DIR.parent.parent)} "
+        f"({len(faulted['batch_sizes'])} batches, max divergence "
+        f"{faulted['divergence_per_batch'].max():.4f})"
+    )
 
 
 if __name__ == "__main__":

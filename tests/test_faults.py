@@ -1,0 +1,462 @@
+"""Unit tests for the fault/drift subsystem building blocks.
+
+The differential harness (``tests/test_differential_faults.py``) pins
+the end-to-end guarantees; these tests cover the pieces: drift-state
+physics on the probe bank, fault-event/schedule semantics and
+validation, recalibration policy accounting, named scenarios, and the
+fault-tolerance sweep surface.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FAULT_SWEEP_HEADER,
+    sweep_fault_tolerance,
+)
+from repro.core.faults import (
+    FAULT_KINDS,
+    CoreHealthState,
+    FaultEvent,
+    FaultSchedule,
+    RecalibrationPolicy,
+)
+from repro.core.traffic import BatchingPolicy
+from repro.photonics.drift import (
+    BankCondition,
+    DriftingWeightBank,
+    default_probe_targets,
+    drift_transfer,
+)
+from repro.workloads import (
+    FAULT_SCENARIOS,
+    alexnet_conv_specs,
+    fault_scenario,
+    poisson_arrivals,
+)
+
+
+class TestBankCondition:
+    def test_defaults_are_pristine(self):
+        assert BankCondition().pristine
+        assert not BankCondition(ambient_k=0.1).pristine
+        assert not BankCondition(dead_rings=(1,)).pristine
+        assert not BankCondition(tia_gain=0.9).pristine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankCondition(ambient_k=-0.1)
+        with pytest.raises(ValueError):
+            BankCondition(ambient_k=math.nan)
+        with pytest.raises(ValueError):
+            BankCondition(crosstalk_coupling=1.0)
+        with pytest.raises(ValueError):
+            BankCondition(tia_gain=1.5)
+
+
+class TestDriftingWeightBank:
+    def test_calibration_squashes_baseline_error(self):
+        probe = DriftingWeightBank()
+        open_loop = probe.weight_error()
+        result = probe.recalibrate()
+        assert result.converged
+        assert probe.weight_error() < 1e-5 < open_loop
+
+    def test_drift_error_monotone_in_ambient(self):
+        probe = DriftingWeightBank()
+        probe.recalibrate()
+        errors = []
+        for ambient in [0.0, 0.02, 0.1, 0.5, 2.0]:
+            probe.set_condition(BankCondition(ambient_k=ambient))
+            errors.append(probe.weight_error())
+        assert all(b > a for a, b in zip(errors, errors[1:]))
+
+    def test_recalibration_compensates_moderate_drift(self):
+        probe = DriftingWeightBank()
+        probe.recalibrate()
+        probe.set_condition(BankCondition(ambient_k=0.05))
+        drifted = probe.weight_error()
+        probe.recalibrate()
+        assert probe.weight_error() < 0.1 * drifted
+
+    def test_dead_ring_is_uncalibratable(self):
+        probe = DriftingWeightBank()
+        probe.recalibrate()
+        probe.set_condition(BankCondition(dead_rings=(probe.num_rings - 1,)))
+        dead_error = probe.weight_error()
+        assert dead_error > 1.0  # pinned to the rail vs a +0.75 target
+        result = probe.recalibrate()
+        assert not result.converged
+        assert probe.weight_error() == pytest.approx(dead_error, rel=0.1)
+
+    def test_stuck_ring_ignores_new_commands(self):
+        probe = DriftingWeightBank()
+        probe.recalibrate()
+        frozen = probe.commanded
+        probe.set_condition(BankCondition(stuck_rings=(3,)))
+        asked = np.clip(frozen + 0.2, -1.0, 1.0)
+        probe.set_weights(asked)
+        assert probe.commanded[3] == frozen[3]
+        others = [i for i in range(probe.num_rings) if i != 3]
+        assert np.array_equal(probe.commanded[others], asked[others])
+
+    def test_thaw_restores_command_authority(self):
+        probe = DriftingWeightBank()
+        probe.set_condition(BankCondition(stuck_rings=(2,)))
+        probe.set_condition(BankCondition())
+        target = default_probe_targets(probe.num_rings)
+        probe.set_weights(target)
+        assert np.array_equal(probe.commanded, target)
+
+    def test_tia_droop_scales_readout(self):
+        probe = DriftingWeightBank()
+        probe.recalibrate()
+        healthy = probe.effective_weights()
+        probe.set_condition(BankCondition(tia_gain=0.5))
+        assert np.allclose(probe.effective_weights(), 0.5 * healthy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            DriftingWeightBank(targets=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="rings cannot realize"):
+            DriftingWeightBank(targets=np.zeros(4), num_rings=8)
+        with pytest.raises(ValueError, match="probe ring"):
+            default_probe_targets(0)
+        probe = DriftingWeightBank()
+        with pytest.raises(ValueError, match="expected"):
+            probe.set_weights(np.zeros(3))
+
+    def test_single_ring_probe(self):
+        probe = DriftingWeightBank(num_rings=1)
+        probe.recalibrate()
+        assert probe.weight_error() < 1e-5
+
+
+class TestDriftTransfer:
+    def test_zero_shift_is_near_identity(self):
+        weights = np.linspace(-1.0, 1.0, 21)
+        assert np.max(np.abs(drift_transfer(weights, 0.0) - weights)) < 1e-6
+
+    def test_divergence_grows_with_shift(self):
+        weights = np.linspace(-0.9, 0.9, 13)
+        small = np.max(np.abs(drift_transfer(weights, 1e9) - weights))
+        large = np.max(np.abs(drift_transfer(weights, 5e9) - weights))
+        assert 0.0 < small < large
+
+    def test_gain_bounds_the_range(self):
+        weights = np.linspace(-1.0, 1.0, 9)
+        effective = drift_transfer(weights, 2e9, tia_gain=0.7)
+        assert np.all(np.abs(effective) <= 0.7 + 1e-12)
+
+    def test_preserves_shape(self):
+        weights = np.zeros((3, 4, 2, 2))
+        assert drift_transfer(weights, 1e9).shape == weights.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            drift_transfer(np.array([1.5]), 0.0)
+        with pytest.raises(ValueError, match="shift"):
+            drift_transfer(np.array([0.5]), -1.0)
+        with pytest.raises(ValueError, match="shift"):
+            drift_transfer(np.array([0.5]), math.nan)
+        with pytest.raises(ValueError, match="gain"):
+            drift_transfer(np.array([0.5]), 0.0, tia_gain=2.0)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor", 0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="core"):
+            FaultEvent("thermal_ramp", -1, 0.0, 1.0)
+        with pytest.raises(ValueError, match="core"):
+            FaultEvent("thermal_ramp", 1.5, 0.0, 1.0)
+        with pytest.raises(ValueError, match="onset"):
+            FaultEvent("thermal_ramp", 0, -1.0, 1.0)
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultEvent("thermal_ramp", 0, 0.0, -1.0)
+        with pytest.raises(ValueError, match="fraction"):
+            FaultEvent("tia_droop", 0, 0.0, 1.5)
+        with pytest.raises(ValueError, match="below 1"):
+            FaultEvent("crosstalk", 0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent("thermal_ramp", 0, 0.0, 1.0, duration_s=0.0)
+        with pytest.raises(ValueError, match="ring indices"):
+            FaultEvent("dead_rings", 0, 0.0, 1.0, rings=(-1,))
+        with pytest.raises(ValueError, match="candidate rings"):
+            FaultEvent("dead_rings", 0, 0.0, 1.0)
+
+    def test_affected_rings_fraction(self):
+        event = FaultEvent("dead_rings", 0, 0.0, 0.5, rings=(3, 1, 7, 5))
+        assert event.affected_rings == (3, 1)
+        assert FaultEvent(
+            "dead_rings", 0, 0.0, 1.0, rings=(2, 4)
+        ).affected_rings == (2, 4)
+        assert FaultEvent(
+            "stuck_rings", 0, 0.0, 0.0, rings=()
+        ).affected_rings == ()
+
+
+class TestFaultSchedule:
+    def test_none_and_uniform_drift(self):
+        assert FaultSchedule.none().events == ()
+        drift = FaultSchedule.uniform_drift(2.0, 3)
+        assert len(drift.events) == 3
+        assert {event.core for event in drift.events} == {0, 1, 2}
+        assert all(event.magnitude == 2.0 for event in drift.events)
+        with pytest.raises(ValueError, match="core"):
+            FaultSchedule.uniform_drift(2.0, 0)
+
+    def test_random_is_deterministic_and_valid(self):
+        first = FaultSchedule.random(seed=5, num_cores=2, horizon_s=1.0)
+        second = FaultSchedule.random(seed=5, num_cores=2, horizon_s=1.0)
+        other = FaultSchedule.random(seed=6, num_cores=2, horizon_s=1.0)
+        assert first == second
+        assert first != other
+        assert all(event.kind in FAULT_KINDS for event in first.events)
+        # A long enough schedule exercises every kind's magnitude rule.
+        big = FaultSchedule.random(
+            seed=0, num_cores=1, horizon_s=1.0, events_per_core=40
+        )
+        assert {event.kind for event in big.events} == set(FAULT_KINDS)
+        with pytest.raises(ValueError, match="core"):
+            FaultSchedule.random(0, 0, 1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            FaultSchedule.random(0, 1, 0.0)
+        with pytest.raises(ValueError, match="event"):
+            FaultSchedule.random(0, 1, 1.0, events_per_core=0)
+
+    def test_scaled_clamps_fractions(self):
+        schedule = FaultSchedule(
+            "s",
+            (
+                FaultEvent("tia_droop", 0, 0.0, 0.8),
+                FaultEvent("crosstalk", 0, 0.0, 0.5),
+                FaultEvent("thermal_ramp", 0, 0.0, 3.0),
+            ),
+        )
+        doubled = schedule.scaled(2.0)
+        assert doubled.events[0].magnitude == 1.0  # clamped fraction
+        assert doubled.events[1].magnitude == 0.99  # capped coupling
+        assert doubled.events[2].magnitude == 6.0  # rates scale freely
+        with pytest.raises(ValueError, match="factor"):
+            schedule.scaled(-1.0)
+
+    def test_events_for_sorts_by_onset(self):
+        schedule = FaultSchedule(
+            "s",
+            (
+                FaultEvent("thermal_ramp", 0, 2.0, 1.0),
+                FaultEvent("thermal_ramp", 1, 0.0, 1.0),
+                FaultEvent("crosstalk", 0, 1.0, 0.1),
+            ),
+        )
+        onsets = [event.onset_s for event in schedule.events_for(0)]
+        assert onsets == [1.0, 2.0]
+        assert schedule.events_for(9) == ()
+
+
+class TestCoreHealthState:
+    def test_condition_composition(self):
+        schedule = FaultSchedule(
+            "s",
+            (
+                FaultEvent("thermal_ramp", 0, 1.0, 0.5, duration_s=2.0),
+                FaultEvent("crosstalk", 0, 2.0, 0.2, duration_s=1.0),
+                FaultEvent("tia_droop", 0, 0.0, 0.4, duration_s=4.0),
+                FaultEvent("dead_rings", 0, 3.0, 1.0, rings=(1,)),
+            ),
+        )
+        state = CoreHealthState(0, schedule)
+        before = state.condition_at(0.5)
+        assert before.ambient_k == 0.0
+        assert before.crosstalk_coupling == 0.0
+        assert before.tia_gain == pytest.approx(1.0 - 0.4 * 0.125)
+        mid = state.condition_at(2.5)
+        assert mid.ambient_k == pytest.approx(0.75)  # 1.5 s into the ramp
+        assert mid.crosstalk_coupling == pytest.approx(0.2)
+        assert mid.dead_rings == ()
+        late = state.condition_at(10.0)
+        assert late.ambient_k == pytest.approx(1.0)  # ramp held after end
+        assert late.crosstalk_coupling == 0.0  # excursion reverted
+        assert late.tia_gain == pytest.approx(0.6)
+        assert late.dead_rings == (1,)
+
+    def test_step_droop_with_infinite_duration(self):
+        schedule = FaultSchedule(
+            "s", (FaultEvent("tia_droop", 0, 1.0, 0.3),)
+        )
+        state = CoreHealthState(0, schedule)
+        assert state.condition_at(0.5).tia_gain == 1.0
+        assert state.condition_at(1.0).tia_gain == pytest.approx(0.7)
+
+    def test_transient_recovery_rearms_recalibration(self):
+        """An excursion that ends re-arms an exhausted recalibration."""
+        policy = RecalibrationPolicy()
+        schedule = FaultSchedule(
+            "s",
+            (
+                FaultEvent(
+                    "crosstalk", 0, 1.0, 0.9, duration_s=1.0
+                ),
+            ),
+        )
+        state = CoreHealthState(0, schedule)
+        state.advance_to(1.5)
+        assert state.should_recalibrate(policy)
+        state.recalibrate(policy)
+        if state.recal_exhausted:
+            state.advance_to(3.0)  # excursion over
+            assert not state.recal_exhausted
+
+    def test_out_of_range_ring_indices_wrap(self):
+        schedule = FaultSchedule(
+            "s", (FaultEvent("dead_rings", 0, 0.0, 1.0, rings=(13,)),)
+        )
+        state = CoreHealthState(0, schedule, probe_rings=8)
+        state.advance_to(1.0)
+        assert state.error > 0.5  # ring 13 % 8 == 5 died
+
+    def test_out_of_range_stuck_rings_survive_recalibration(self):
+        """Regression: a stuck-ring index beyond the probe used to raise
+        IndexError when recalibration re-commanded the bank (the frozen
+        command was keyed by the raw index, not the wrapped one)."""
+        policy = RecalibrationPolicy()
+        schedule = FaultSchedule(
+            "s",
+            (
+                FaultEvent("stuck_rings", 0, 0.0, 1.0, rings=(8, 13)),
+                FaultEvent("thermal_ramp", 0, 0.0, 0.5),
+            ),
+        )
+        state = CoreHealthState(0, schedule, probe_rings=8)
+        state.advance_to(0.2)
+        assert state.should_recalibrate(policy)
+        state.recalibrate(policy)  # must not raise
+        assert math.isfinite(state.error)
+
+
+class TestRecalibrationPolicy:
+    def test_downtime_accounting(self):
+        policy = RecalibrationPolicy(
+            iteration_time_s=1e-5, overhead_s=1e-4
+        )
+        assert policy.downtime_s(10) == pytest.approx(2e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            RecalibrationPolicy(error_threshold=0.0)
+        with pytest.raises(ValueError, match="iteration"):
+            RecalibrationPolicy(max_iterations=0)
+        with pytest.raises(ValueError, match="times"):
+            RecalibrationPolicy(iteration_time_s=-1.0)
+
+
+class TestFaultScenarios:
+    @pytest.mark.parametrize("name", FAULT_SCENARIOS)
+    def test_every_scenario_builds_and_scales_to_noop(self, name):
+        schedule = fault_scenario(name, num_cores=3, horizon_s=0.5)
+        assert schedule.events
+        assert all(event.core < 3 for event in schedule.events)
+        disarmed = fault_scenario(name, 3, 0.5, severity=0.0)
+        assert all(event.magnitude == 0.0 for event in disarmed.events)
+        assert all(
+            event.affected_rings == () for event in disarmed.events
+        )
+
+    def test_scenarios_are_deterministic(self):
+        for name in FAULT_SCENARIOS:
+            assert fault_scenario(name, 2, 1.0) == fault_scenario(
+                name, 2, 1.0
+            )
+
+    def test_validation(self):
+        with pytest.raises(KeyError, match="unknown fault scenario"):
+            fault_scenario("volcano", 2, 1.0)
+        with pytest.raises(ValueError, match="core"):
+            fault_scenario("slow-drift", 0, 1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            fault_scenario("slow-drift", 2, 0.0)
+
+    def test_single_core_scenarios(self):
+        for name in FAULT_SCENARIOS:
+            schedule = fault_scenario(name, 1, 1.0)
+            assert all(event.core == 0 for event in schedule.events)
+
+
+class TestDegradedReportSurface:
+    def test_describe_and_simulator_validation(self):
+        from repro.core.faults import (
+            DegradedServingSimulator,
+            simulate_degraded_serving,
+        )
+        from repro.core.traffic import PipelineServiceModel
+        from repro.workloads import serving_network
+
+        specs = alexnet_conv_specs()
+        model = PipelineServiceModel.from_specs(specs, 2)
+        with pytest.raises(ValueError, match="fail threshold"):
+            DegradedServingSimulator(
+                model,
+                BatchingPolicy.fifo(),
+                FaultSchedule.none(),
+                fail_error_threshold=0.0,
+            )
+        network = serving_network("lenet5")
+        arrivals = poisson_arrivals(2e4, 20, seed=2)
+        horizon = float(arrivals[-1])
+        report = simulate_degraded_serving(
+            network,
+            arrivals,
+            BatchingPolicy.dynamic(4, 1e-4),
+            FaultSchedule.uniform_drift(0.3 / horizon, 2),
+            num_cores=2,
+            recalibration=RecalibrationPolicy(),
+        )
+        text = report.describe()
+        assert "accuracy proxy" in text
+        assert "availability" in text
+        assert "recalibrations" in text
+        assert report.worst_accuracy_proxy >= report.accuracy_proxy[0]
+        assert report.final_accuracy_proxy == report.accuracy_proxy[-1]
+
+
+class TestFaultToleranceSweep:
+    def test_grid_rows_and_validation(self):
+        specs = alexnet_conv_specs()
+        arrivals = poisson_arrivals(4000.0, 300, seed=1)
+        horizon = float(arrivals[-1])
+        points = sweep_fault_tolerance(
+            specs,
+            BatchingPolicy.dynamic(8, 1e-3),
+            [0.05 / horizon],
+            [None, RecalibrationPolicy()],
+            arrivals,
+            num_cores=2,
+        )
+        assert len(points) == 2
+        assert {point.recalibration for point in points} == {"none", "recal"}
+        for point in points:
+            assert len(point.row()) == len(FAULT_SWEEP_HEADER)
+            assert 0.0 < point.min_availability <= 1.0
+            assert point.mean_accuracy_proxy >= 0.0
+        with pytest.raises(ValueError, match="drift rate"):
+            sweep_fault_tolerance(
+                specs,
+                BatchingPolicy.fifo(),
+                [],
+                [None],
+                arrivals,
+                num_cores=2,
+            )
+        with pytest.raises(ValueError, match="recalibration"):
+            sweep_fault_tolerance(
+                specs,
+                BatchingPolicy.fifo(),
+                [1.0],
+                [],
+                arrivals,
+                num_cores=2,
+            )

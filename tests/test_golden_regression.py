@@ -83,6 +83,72 @@ def test_fixture_metadata_pins_the_scenario(network_name, mode):
         assert float(fixture["meta_scale"]) == regenerate.SCALE
 
 
+class TestFaultedGoldenTrace:
+    """The canonical faulted LeNet-5 serving trace must never drift —
+    not the schedule (dispatch/completion times, batch sizes, downtime),
+    not the measured accuracy proxy, and not the degraded engine replay."""
+
+    FIXTURE_KEYS = (
+        "arrival_s",
+        "dispatch_s",
+        "completion_s",
+        "batch_sizes",
+        "accuracy_proxy",
+        "core_downtime_s",
+        "outputs",
+        "reference_outputs",
+        "divergence_per_batch",
+    )
+
+    def test_faulted_trace_matches_golden_fixture(self):
+        from golden.regenerate import compute_faulted_trace
+
+        path = fixture_path("lenet5", "faulted")
+        assert path.exists(), (
+            f"missing golden fixture {path}; run "
+            "`PYTHONPATH=src python tests/golden/regenerate.py`"
+        )
+        with np.load(path) as fixture:
+            trace = compute_faulted_trace()
+            assert np.array_equal(
+                fixture["inputs_sha256"], trace["inputs_sha256"]
+            ), "the seeded input batch itself drifted"
+            for key in self.FIXTURE_KEYS:
+                _assert_matches(
+                    f"lenet5/faulted/{key}", fixture[key], trace[key]
+                )
+
+    def test_faulted_metadata_pins_the_scenario(self):
+        from golden import regenerate
+
+        with np.load(fixture_path("lenet5", "faulted")) as fixture:
+            assert int(fixture["meta_requests"]) == regenerate.FAULTED_REQUESTS
+            assert int(fixture["meta_input_seed"]) == regenerate.INPUT_SEED
+            assert int(fixture["meta_weight_seed"]) == regenerate.WEIGHT_SEED
+            assert (
+                int(fixture["meta_arrival_seed"])
+                == regenerate.FAULTED_ARRIVAL_SEED
+            )
+            assert (
+                float(fixture["meta_drift_total_k"])
+                == regenerate.FAULTED_DRIFT_TOTAL_K
+            )
+
+    def test_faulted_fixture_is_genuinely_degraded(self):
+        """Sanity: the scenario really degrades the run — the proxy
+        worsens along the trace, the replay diverges from the fault-free
+        reference, and recalibration downtime was charged."""
+        with np.load(fixture_path("lenet5", "faulted")) as fixture:
+            proxy = fixture["accuracy_proxy"]
+            assert proxy[-1] > proxy[0]
+            assert proxy.max() > 1.0  # the dead ring is in there
+            assert fixture["divergence_per_batch"].max() > 0.0
+            assert not np.array_equal(
+                fixture["outputs"], fixture["reference_outputs"]
+            )
+            assert fixture["core_downtime_s"].sum() > 0.0
+
+
 def test_quantized_fixture_differs_from_ideal():
     """Sanity: the two modes are genuinely different scenarios (a broken
     quantizer silently acting as a no-op would otherwise pass both)."""

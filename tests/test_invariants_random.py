@@ -18,9 +18,17 @@ stream walks the whole wave stack, see ``docs/architecture.md``); what
 it does promise — determinism under a fixed seed, batch-size-independent
 per-image encodings — is asserted instead.
 
+PR 4 adds the fault-injection engine; over random fault schedules
+(random kinds, onset times, magnitudes, affected rings, recalibration
+on/off) the degraded simulator must never deadlock, must conserve
+requests, and must keep every latency, proxy, and downtime finite and
+causally ordered.
+
 All randomness is drawn through seeded ``default_rng`` streams from
 hypothesis-chosen seeds, so failures shrink and replay deterministically.
 """
+
+import math
 
 import numpy as np
 import pytest
@@ -29,7 +37,15 @@ from hypothesis import strategies as st
 
 from repro.core.accelerator import PCNNA, PhotonicConvolution
 from repro.core.config import PCNNAConfig
+from repro.core.faults import (
+    FAULT_KINDS,
+    DegradedServingSimulator,
+    FaultEvent,
+    FaultSchedule,
+    RecalibrationPolicy,
+)
 from repro.core.serving import run_network_pipelined
+from repro.core.traffic import BatchingPolicy, PipelineServiceModel
 from repro.nn import functional as F
 from repro.nn.layers import (
     Conv2D,
@@ -43,6 +59,7 @@ from repro.nn.layers import (
 from repro.nn.network import Network
 from repro.nn.shapes import conv_output_side, pool_output_size
 from repro.photonics.noise import realistic
+from repro.workloads import alexnet_conv_specs, poisson_arrivals
 
 
 @st.composite
@@ -246,3 +263,158 @@ class TestGeometryHonesty:
         assert functional.shape == (batch, k.shape[0], *expected)
         photonic = PhotonicConvolution().convolve(x, k, stride, padding)
         assert photonic.shape == (batch, k.shape[0], *expected)
+
+
+_FAULT_HORIZON_S = 0.1
+"""Rough span of the random arrival traces the fault cases serve."""
+
+
+@st.composite
+def fault_event_case(draw, num_cores: int):
+    """One random fault event, onset inside (or beyond) the horizon."""
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    # Deliberately allow cores beyond the pipeline: such events are inert.
+    core = draw(st.integers(min_value=0, max_value=num_cores))
+    onset = draw(
+        st.floats(
+            min_value=0.0, max_value=1.5 * _FAULT_HORIZON_S, allow_nan=False
+        )
+    )
+    duration = draw(
+        st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=1e-3, max_value=_FAULT_HORIZON_S),
+        )
+    )
+    if kind == "thermal_ramp":
+        magnitude = draw(st.floats(min_value=0.0, max_value=20.0))
+    elif kind == "crosstalk":
+        magnitude = draw(st.floats(min_value=0.0, max_value=0.8))
+    else:
+        magnitude = draw(st.floats(min_value=0.0, max_value=1.0))
+    rings = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=7),
+                min_size=1,
+                max_size=8,
+                unique=True,
+            )
+        )
+    )
+    return FaultEvent(
+        kind=kind,
+        core=core,
+        onset_s=onset,
+        magnitude=magnitude,
+        duration_s=duration,
+        rings=rings,
+    )
+
+
+@st.composite
+def fault_serving_case(draw):
+    """A random (schedule, policy, trace, recalibration) serving problem."""
+    num_cores = draw(st.integers(min_value=1, max_value=3))
+    events = draw(
+        st.lists(fault_event_case(num_cores), min_size=0, max_size=5)
+    )
+    schedule = FaultSchedule(name="hypothesis", events=tuple(events))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_requests = draw(st.integers(min_value=5, max_value=150))
+    arrivals = poisson_arrivals(
+        num_requests / _FAULT_HORIZON_S, num_requests, seed=seed
+    )
+    policy = draw(
+        st.sampled_from(
+            [
+                BatchingPolicy.fifo(),
+                BatchingPolicy.dynamic(8, 1e-3),
+                BatchingPolicy.fixed(16),
+            ]
+        )
+    )
+    recalibration = draw(
+        st.sampled_from([None, RecalibrationPolicy()])
+    )
+    repartition = draw(st.booleans())
+    return schedule, num_cores, arrivals, policy, recalibration, repartition
+
+
+class TestFaultedServingInvariants:
+    """Whatever the faults do, serving must finish, conserve, stay sane."""
+
+    @given(case=fault_serving_case())
+    @settings(max_examples=12, deadline=None)
+    def test_never_deadlocks_conserves_and_stays_finite(self, case):
+        schedule, num_cores, arrivals, policy, recalibration, repartition = (
+            case
+        )
+        specs = alexnet_conv_specs()
+        model = PipelineServiceModel.from_specs(specs, num_cores)
+        report = DegradedServingSimulator(
+            model,
+            policy,
+            schedule,
+            recalibration=recalibration,
+            specs=specs if repartition else None,
+        ).run(arrivals)
+
+        # Conservation: every request served exactly once, in order.
+        assert report.num_requests == arrivals.size
+        assert sum(batch.size for batch in report.batches) == arrivals.size
+        cursor = 0
+        for batch in report.batches:
+            assert batch.first_request == cursor
+            cursor += batch.size
+
+        # Causality and finiteness: arrivals -> dispatch -> completion.
+        assert np.all(np.isfinite(report.dispatch_s))
+        assert np.all(np.isfinite(report.completion_s))
+        assert np.all(report.dispatch_s >= report.arrival_s)
+        assert np.all(report.completion_s > report.dispatch_s)
+        assert np.all(report.latencies_s > 0.0)
+        assert np.isfinite(report.p99_s)
+
+        # Degradation accounting stays sane.
+        assert np.all(np.isfinite(report.accuracy_proxy))
+        assert np.all(report.accuracy_proxy >= 0.0)
+        assert len(report.accuracy_proxy) == len(report.batches)
+        assert np.all(report.batch_num_cores >= 1)
+        assert np.all(report.batch_num_cores <= num_cores)
+        assert np.all(np.diff(report.batch_num_cores) <= 0)
+        assert all(
+            0.0 <= downtime < math.inf for downtime in report.core_downtime_s
+        )
+        assert all(0.0 < a <= 1.0 for a in report.availability)
+        if recalibration is None:
+            assert report.recalibrations == ()
+        if not repartition:
+            assert report.repartitions == ()
+
+    @given(case=fault_serving_case())
+    @settings(max_examples=6, deadline=None)
+    def test_deterministic_under_identical_inputs(self, case):
+        """The whole degraded run is a pure function of its inputs."""
+        schedule, num_cores, arrivals, policy, recalibration, repartition = (
+            case
+        )
+        specs = alexnet_conv_specs()
+
+        def run():
+            model = PipelineServiceModel.from_specs(specs, num_cores)
+            return DegradedServingSimulator(
+                model,
+                policy,
+                schedule,
+                recalibration=recalibration,
+                specs=specs if repartition else None,
+            ).run(arrivals)
+
+        first, second = run(), run()
+        assert np.array_equal(first.completion_s, second.completion_s)
+        assert np.array_equal(first.accuracy_proxy, second.accuracy_proxy)
+        assert first.batches == second.batches
+        assert first.core_downtime_s == second.core_downtime_s
+        assert first.recalibrations == second.recalibrations
+        assert first.repartitions == second.repartitions

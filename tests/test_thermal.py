@@ -45,6 +45,17 @@ class TestThermalModel:
         with pytest.raises(ValueError):
             ThermalModel().crosstalk_matrix(0)
 
+    def test_crosstalk_matrix_rejects_non_integer_ring_counts(self):
+        """Regression: a float count used to build a silently mis-sized
+        matrix (np.arange(2.5) has three entries), and bool/negative
+        counts slipped through the <= 0 check."""
+        model = ThermalModel()
+        for bad in (2.5, 3.0, True, False, -1, "4", None):
+            with pytest.raises(ValueError, match="ring count|ring"):
+                model.crosstalk_matrix(bad)
+        # numpy integer counts stay accepted (callers pass array sizes).
+        assert model.crosstalk_matrix(np.int64(3)).shape == (3, 3)
+
     def test_ambient_drift_shifts_all_rings(self):
         bank = make_bank(4)
         bank.set_weights(np.zeros(4))
