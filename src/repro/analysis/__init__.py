@@ -3,11 +3,14 @@
 from repro.analysis.export import results_to_json, series_to_csv, write_text
 from repro.analysis.figures import ascii_line_plot, log_bar_chart
 from repro.analysis.sweeps import (
+    CLUSTER_SWEEP_HEADER,
     FAULT_SWEEP_HEADER,
     SERVING_SWEEP_HEADER,
+    ClusterSweepPoint,
     FaultSweepPoint,
     ServingSweepPoint,
     SweepPoint,
+    sweep_cluster_serving,
     sweep_fast_clock,
     sweep_fault_tolerance,
     sweep_kernel_count,
@@ -29,11 +32,14 @@ __all__ = [
     "write_text",
     "ascii_line_plot",
     "log_bar_chart",
+    "CLUSTER_SWEEP_HEADER",
     "FAULT_SWEEP_HEADER",
     "SERVING_SWEEP_HEADER",
+    "ClusterSweepPoint",
     "FaultSweepPoint",
     "ServingSweepPoint",
     "SweepPoint",
+    "sweep_cluster_serving",
     "sweep_fast_clock",
     "sweep_fault_tolerance",
     "sweep_kernel_count",

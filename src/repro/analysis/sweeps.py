@@ -11,12 +11,17 @@ explicit; these sweeps quantify their impact:
   while ring count grows linearly (paper section V-B);
 * serving policy x core count — the request-level simulator's policy
   comparison (:func:`sweep_serving_policies`), quantifying what dynamic
-  batching and pipeline width buy under one shared traffic trace.
+  batching and pipeline width buy under one shared traffic trace;
+* tenant mix x pool size — the cluster runtime's capacity planning
+  question (:func:`sweep_cluster_serving`): how much pool does a given
+  multi-tenant mix need before shedding stops and every tenant's tail
+  latency settles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -24,6 +29,13 @@ from repro.core.analytical import (
     full_system_time_s,
     microrings_filtered,
     optical_core_time_s,
+)
+from repro.core.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    ClusterTenant,
+    ElasticReallocation,
+    RoutingPolicy,
 )
 from repro.core.config import PCNNAConfig
 from repro.core.faults import (
@@ -342,6 +354,102 @@ def sweep_fault_tolerance(
                     report=simulator.run(arrival_s),
                 )
             )
+    return points
+
+
+@dataclass(frozen=True)
+class ClusterSweepPoint:
+    """One pool-size cell of a tenant-mix x pool-size sweep.
+
+    Attributes:
+        pool_size: physical cores in the cell's pool.
+        report: the full cluster simulation result for drill-down.
+    """
+
+    pool_size: int
+    report: ClusterReport
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of the total offered load shed at this pool size."""
+        return self.report.num_shed / self.report.num_offered
+
+    def rows(self) -> list[list[str]]:
+        """One formatted row per tenant of the cell."""
+        return [
+            [
+                str(self.pool_size),
+                tenant.tenant,
+                str(tenant.num_offered),
+                str(tenant.num_requests),
+                str(tenant.num_shed),
+                f"{tenant.p99_s * 1e6:.0f}",
+                f"{tenant.mean_batch_size:.1f}",
+                str(int(tenant.batch_num_cores[-1])),
+            ]
+            for tenant in self.report.tenants
+        ]
+
+
+CLUSTER_SWEEP_HEADER = [
+    "pool",
+    "tenant",
+    "offered",
+    "served",
+    "shed",
+    "p99 (us)",
+    "batch",
+    "cores@end",
+]
+"""Column labels matching :meth:`ClusterSweepPoint.rows`."""
+
+
+def sweep_cluster_serving(
+    tenants: Sequence[ClusterTenant],
+    arrival_s: Mapping[str, np.ndarray],
+    pool_sizes: list[int],
+    routing: RoutingPolicy | None = None,
+    elastic: ElasticReallocation | None = None,
+    config: PCNNAConfig | None = None,
+) -> list[ClusterSweepPoint]:
+    """Simulate one tenant mix over a range of pool sizes.
+
+    Every cell serves the identical per-tenant arrival traces, so
+    differences in shedding, tail latency, and reallocation behaviour
+    are attributable to the pool size alone — the capacity-planning
+    curve for the mix.
+
+    Args:
+        tenants: the co-served tenant mix.
+        arrival_s: per-tenant arrival traces shared by every cell.
+        pool_sizes: pool sizes to compare (each >= the tenant count).
+        routing: pool arbitration policy for every cell.
+        elastic: elastic reallocation policy for every cell.
+        config: hardware configuration.
+
+    Returns:
+        One :class:`ClusterSweepPoint` per pool size, in order.
+
+    Raises:
+        ValueError: on an empty pool-size list or invalid cluster
+            arguments.
+    """
+    if not pool_sizes:
+        raise ValueError("need at least one pool size")
+    points = []
+    for pool_size in pool_sizes:
+        simulator = ClusterSimulator(
+            tenants,
+            pool_size,
+            routing=routing,
+            elastic=elastic,
+            config=config,
+        )
+        points.append(
+            ClusterSweepPoint(
+                pool_size=pool_size, report=simulator.run(arrival_s)
+            )
+        )
     return points
 
 

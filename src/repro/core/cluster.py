@@ -1,0 +1,1007 @@
+"""Multi-tenant cluster serving over a shared photonic core pool.
+
+The single-model simulators answer "how does *one* network serve *its*
+traffic".  A production deployment co-serves many models: an
+interactive LeNet next to a batch AlexNet next to a GoogLeNet stem,
+all drawing cores from one heterogeneous pool.  This module builds that
+runtime on the unified event-loop kernel (:mod:`repro.core.simkernel`):
+
+* each :class:`ClusterTenant` owns a request queue, a batching policy,
+  and a contiguous sub-pipeline of physical pool cores; its dispatches
+  are planned and booked with the *exact* kernel arithmetic
+  (:func:`~repro.core.simkernel.plan_dispatch` /
+  :func:`~repro.core.simkernel.execute_dispatch`), so a single-tenant
+  zero-fault cluster run is bit-identical to the PR 3
+  :class:`~repro.core.traffic.ServingSimulator`;
+* a :class:`RoutingPolicy` arbitrates the pool — ``weighted_fair``
+  allocates cores proportionally to tenant weights and *guarantees*
+  each tenant its share (the minority tenant keeps its cores while a
+  10x-load neighbour saturates the pool), ``priority`` lets
+  high-priority tenants strip low-priority ones down to one core;
+* admission control sheds load: a tenant's ``queue_cap`` bounds its
+  queue, and a request arriving to a full queue is dropped and counted
+  (``served + shed = offered``, the conservation law the hypothesis
+  suite pins);
+* an :class:`ElasticReallocation` policy moves cores between tenants at
+  dispatch instants when queue pressure diverges, draining the affected
+  pipelines on the shared clock and re-partitioning each tenant's
+  layers over its new width;
+* an optional :class:`~repro.core.faults.FaultSchedule` degrades the
+  *physical pool cores* — each carries the same
+  :class:`~repro.core.faults.CoreHealthState` drift state machine as
+  the degraded simulator, advanced at the owning tenant's dispatch
+  instants, with recalibration downtime paid into that tenant's clock;
+* :func:`replay_tenant_on_engine` re-executes any tenant's simulated
+  batches on the real batched photonic engine at the per-batch pipeline
+  widths elastic reallocation left behind — bit-identical to running
+  every request alone in ideal mode.
+
+Everything is a pure function of its inputs: a fixed seed and tenant
+mix yields bit-identical reports on every run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import PCNNAConfig
+from repro.core.faults import (
+    CoreHealthState,
+    FaultSchedule,
+    RecalibrationPolicy,
+    RecalibrationRecord,
+)
+from repro.core.simkernel import (
+    BatchingPolicy,
+    DispatchContext,
+    execute_dispatch,
+    plan_dispatch,
+    validate_arrival_trace,
+)
+from repro.core.traffic import (
+    PipelineServiceModel,
+    ServingReport,
+    replay_batches,
+    validate_replay_inputs,
+)
+from repro.nn.network import Network
+from repro.nn.shapes import ConvLayerSpec
+
+ROUTING_KINDS: tuple[str, ...] = ("weighted-fair", "priority")
+"""Routing disciplines a :class:`RoutingPolicy` may carry."""
+
+
+@dataclass(frozen=True)
+class ClusterTenant:
+    """One co-served model with its queue, policy, and pool entitlement.
+
+    Attributes:
+        name: unique tenant label used in reports and routing.
+        specs: the tenant network's conv layers (the photonic work that
+            defines its pipeline).
+        policy: the tenant's batching policy.
+        weight: weighted-fair share of the pool (> 0).
+        priority: priority-routing rank (higher wins).
+        queue_cap: admission-control bound on the tenant's queue;
+            ``None`` admits everything.  A cap below the policy's
+            ``max_batch`` also caps the batch size — a queue that can
+            never hold a full batch must not wait for one.
+    """
+
+    name: str
+    specs: tuple[ConvLayerSpec, ...]
+    policy: BatchingPolicy
+    weight: float = 1.0
+    priority: int = 0
+    queue_cap: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a non-empty name")
+        if not self.specs:
+            raise ValueError(
+                f"{self.name}: need at least one conv layer to serve"
+            )
+        if self.weight <= 0.0 or not np.isfinite(self.weight):
+            raise ValueError(
+                f"{self.name}: weight must be finite and > 0, got "
+                f"{self.weight!r}"
+            )
+        if self.queue_cap is not None and self.queue_cap < 1:
+            raise ValueError(
+                f"{self.name}: queue cap must be >= 1, got "
+                f"{self.queue_cap!r}"
+            )
+
+    @classmethod
+    def from_network(
+        cls,
+        name: str,
+        network: Network,
+        policy: BatchingPolicy,
+        weight: float = 1.0,
+        priority: int = 0,
+        queue_cap: int | None = None,
+    ) -> "ClusterTenant":
+        """Build a tenant from an executable network's conv layers."""
+        return cls(
+            name=name,
+            specs=tuple(network.conv_specs()),
+            policy=policy,
+            weight=weight,
+            priority=priority,
+            queue_cap=queue_cap,
+        )
+
+    @property
+    def max_useful_cores(self) -> int:
+        """Cores beyond this are wasted on the tenant (one per layer)."""
+        return len(self.specs)
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """How the cluster arbitrates the shared pool between tenants.
+
+    ``weighted-fair`` allocates cores in proportion to tenant weights
+    and *guarantees* each tenant its initial share: elastic reallocation
+    may only move a tenant's surplus, so a minority tenant's cores can
+    never be stripped by a noisy neighbour.  ``priority`` guarantees
+    only one core per tenant, hands the rest of the pool out in
+    descending priority order at allocation, and prefers
+    higher-priority tenants when ordering simultaneous dispatches and
+    when choosing which pressured tenant grows at a reallocation
+    (elastic moves may strip lower-priority tenants down to one core).
+    Under weighted-fair, simultaneous dispatches order by
+    least-served-per-weight instead.
+
+    Attributes:
+        kind: one of :data:`ROUTING_KINDS`.
+    """
+
+    kind: str = "weighted-fair"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ROUTING_KINDS:
+            raise ValueError(
+                f"unknown routing kind {self.kind!r}; have {ROUTING_KINDS}"
+            )
+
+    @classmethod
+    def weighted_fair(cls) -> "RoutingPolicy":
+        """Proportional-share routing with guaranteed allocations."""
+        return cls(kind="weighted-fair")
+
+    @classmethod
+    def priority(cls) -> "RoutingPolicy":
+        """Strict-priority routing (floor of one core per tenant)."""
+        return cls(kind="priority")
+
+
+@dataclass(frozen=True)
+class ElasticReallocation:
+    """When does a core move between tenants?
+
+    Evaluated after every dispatch: if some tenant's queue pressure
+    (queued requests per allocated core) exceeds ``pressure_ratio``
+    times the least-pressured donor's — and the pressured tenant has at
+    least ``min_queue`` requests waiting — one core moves.  Moves drain
+    both pipelines (layers are re-partitioned over the new widths), so
+    the thresholds exist to stop thrash; free pool cores are handed out
+    without a donor.
+
+    Attributes:
+        pressure_ratio: minimum recipient/donor pressure ratio.
+        min_queue: minimum queued requests before a tenant may grow.
+    """
+
+    pressure_ratio: float = 4.0
+    min_queue: int = 16
+
+    def __post_init__(self) -> None:
+        if self.pressure_ratio < 1.0 or not np.isfinite(self.pressure_ratio):
+            raise ValueError(
+                f"pressure ratio must be finite and >= 1, got "
+                f"{self.pressure_ratio!r}"
+            )
+        if self.min_queue < 1:
+            raise ValueError(
+                f"min queue must be >= 1, got {self.min_queue!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ReallocationRecord:
+    """One elastic core move, as the event loop saw it.
+
+    Attributes:
+        time_s: dispatch instant the reallocator reacted at.
+        core: physical pool core that moved.
+        from_tenant: donor tenant, or ``None`` for a free pool core.
+        to_tenant: recipient tenant.
+        donor_cores_after: donor width after the move (0 for the pool).
+        recipient_cores_after: recipient width after the move.
+    """
+
+    time_s: float
+    core: int
+    from_tenant: str | None
+    to_tenant: str
+    donor_cores_after: int
+    recipient_cores_after: int
+
+
+@dataclass(frozen=True)
+class TenantServingReport(ServingReport):
+    """A :class:`~repro.core.traffic.ServingReport` for one tenant.
+
+    The inherited per-request arrays cover the *served* (admitted)
+    requests; the offered and shed traces make the conservation law
+    checkable: ``num_requests + num_shed == num_offered``.
+
+    Attributes:
+        tenant: the tenant's name.
+        offered_arrival_s: the tenant's full offered arrival trace.
+        shed_arrival_s: arrival times of requests dropped by admission
+            control, in arrival order.
+        batch_num_cores: per-batch pipeline width (changes at elastic
+            reallocations) — the input to
+            :func:`replay_tenant_on_engine`.
+        accuracy_proxy: per-batch worst measured weight error over the
+            tenant's cores (all zeros when the cluster ran fault-free).
+    """
+
+    tenant: str
+    offered_arrival_s: np.ndarray
+    shed_arrival_s: np.ndarray
+    batch_num_cores: np.ndarray
+    accuracy_proxy: np.ndarray
+
+    @property
+    def num_offered(self) -> int:
+        """Requests the tenant's trace offered."""
+        return int(self.offered_arrival_s.size)
+
+    @property
+    def num_shed(self) -> int:
+        """Requests dropped by admission control."""
+        return int(self.shed_arrival_s.size)
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered load shed."""
+        return self.num_shed / self.num_offered
+
+    def describe(self) -> str:
+        """The base summary block plus the tenant's admission line."""
+        return "\n".join(
+            [
+                f"[{self.tenant}] " + super().describe(),
+                f"  offered {self.num_offered}, served {self.num_requests}, "
+                f"shed {self.num_shed} ({self.shed_fraction:.1%})",
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Everything measured over one multi-tenant cluster run.
+
+    Attributes:
+        pool_size: physical cores in the shared pool.
+        routing: the routing policy's kind.
+        tenants: per-tenant serving reports, in tenant order.
+        reallocations: every elastic core move, in order.
+        schedule_name: the fault schedule, or ``None`` if fault-free.
+        recalibration_name: the recalibration policy, or ``None``.
+        core_downtime_s: per-pool-core recalibration downtime.
+        final_core_errors: per-pool-core weight error at the end
+            (all zeros when fault-free).
+        recalibrations: every recalibration attempt, in order.
+    """
+
+    pool_size: int
+    routing: str
+    tenants: tuple[TenantServingReport, ...]
+    reallocations: tuple[ReallocationRecord, ...]
+    schedule_name: str | None
+    recalibration_name: str | None
+    core_downtime_s: tuple[float, ...]
+    final_core_errors: tuple[float, ...]
+    recalibrations: tuple[RecalibrationRecord, ...]
+
+    def tenant(self, name: str) -> TenantServingReport:
+        """The named tenant's report.
+
+        Raises:
+            KeyError: on an unknown tenant name.
+        """
+        for report in self.tenants:
+            if report.tenant == name:
+                return report
+        raise KeyError(
+            f"unknown tenant {name!r}; have "
+            f"{tuple(report.tenant for report in self.tenants)}"
+        )
+
+    @property
+    def num_offered(self) -> int:
+        """Requests offered across every tenant."""
+        return sum(report.num_offered for report in self.tenants)
+
+    @property
+    def num_served(self) -> int:
+        """Requests served across every tenant."""
+        return sum(report.num_requests for report in self.tenants)
+
+    @property
+    def num_shed(self) -> int:
+        """Requests shed across every tenant."""
+        return sum(report.num_shed for report in self.tenants)
+
+    @property
+    def makespan_s(self) -> float:
+        """Earliest arrival to latest completion across tenants."""
+        start = min(float(r.arrival_s[0]) for r in self.tenants)
+        end = max(float(r.completion_s.max()) for r in self.tenants)
+        return end - start
+
+    @property
+    def pool_core_busy_s(self) -> tuple[float, ...]:
+        """Per-pool-core busy time summed over the tenants."""
+        busy = np.zeros(self.pool_size)
+        for report in self.tenants:
+            busy += np.asarray(report.core_busy_s)
+        return tuple(float(b) for b in busy)
+
+    @property
+    def pool_utilization(self) -> tuple[float, ...]:
+        """Per-pool-core busy fraction of the cluster makespan."""
+        span = self.makespan_s
+        return tuple(busy / span for busy in self.pool_core_busy_s)
+
+    def describe(self) -> str:
+        """A cluster summary: pool header plus every tenant's block."""
+        util = ", ".join(f"{u:.0%}" for u in self.pool_utilization)
+        lines = [
+            f"cluster [{self.routing}] over {self.pool_size} cores: "
+            f"{self.num_served}/{self.num_offered} served "
+            f"({self.num_shed} shed), {len(self.reallocations)} "
+            f"reallocations | pool utilization {util}"
+        ]
+        lines.extend(report.describe() for report in self.tenants)
+        return "\n".join(lines)
+
+
+class _TenantLane:
+    """One tenant's queue + pipeline inside the cluster event loop.
+
+    Wraps a kernel :class:`DispatchContext` whose stage→core map points
+    at *physical pool cores* and whose busy ledger spans the whole pool
+    (so per-tenant per-core attribution survives reallocations), plus
+    the admission-control queue: raw arrivals are judged in order, and
+    an arrival that finds ``queue_cap`` *uncompleted* requests already
+    in the system (queued or in flight in the pipeline) is shed.
+    Capping system occupancy rather than just the scheduler queue is
+    what bounds an admitted request's latency: whichever core is the
+    pipeline bottleneck, at most ``queue_cap`` requests are ever ahead
+    of an admitted one.
+
+    Admissions are judged against the system state at the arrival
+    instant.  A lane's batch completions are monotone in dispatch
+    order, so an arrival at or before the batch being committed can be
+    judged exactly; later arrivals are admitted early only when the
+    judgment cannot flip (occupancy only shrinks as batches complete)
+    and otherwise wait, unjudged, for the commit that decides them.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: ClusterTenant,
+        arrivals: np.ndarray,
+        phys_cores: list[int],
+        pool_size: int,
+        config: PCNNAConfig | None,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.config = config
+        self.raw = arrivals
+        self.n = int(arrivals.size)
+        self.cap = spec.queue_cap
+        self.policy = (
+            spec.policy if self.cap is None else spec.policy.capped(self.cap)
+        )
+        model = PipelineServiceModel.from_specs(
+            list(spec.specs), len(phys_cores), config
+        )
+        self.ctx = DispatchContext(model, self.policy, arrivals)
+        self.ctx.stage_to_core = list(phys_cores)
+        self.ctx.core_busy = [0.0] * pool_size
+        self.initial_width = len(phys_cores)
+        # The admitted queue: arrival times of every admitted request,
+        # filled in arrival order.  With no cap the whole trace is
+        # admitted up front, so dispatch planning sees the exact array
+        # the plain simulator would (the bit-identity the differential
+        # test pins).
+        self.admitted_times = np.empty(self.n)
+        self.admitted = 0
+        self.ptr = 0
+        if self.cap is None:
+            self.admitted_times[:] = arrivals
+            self.admitted = self.n
+            self.ptr = self.n
+        self.shed: list[float] = []
+        self.widths: list[int] = []
+        self.proxies: list[float] = []
+        self.served = 0
+        self.released = False
+        # Completion history for admission judgments: batch completion
+        # times (monotone within a lane) and the running count of
+        # requests completed by each batch.
+        self._completion_times: list[float] = []
+        self._cum_completed: list[int] = []
+
+    @property
+    def phys(self) -> list[int]:
+        """Physical pool cores behind the tenant's pipeline stages."""
+        return self.ctx.stage_to_core
+
+    @property
+    def width(self) -> int:
+        """Current pipeline width."""
+        return self.ctx.model.num_cores
+
+    def _admit(self) -> None:
+        self.admitted_times[self.admitted] = self.raw[self.ptr]
+        self.admitted += 1
+        self.ptr += 1
+
+    def _occupancy(self, time_s: float) -> int:
+        """Uncompleted admitted requests at ``time_s``.
+
+        Counts every admitted request minus those in batches completed
+        strictly before ``time_s``.  Judged arrivals are always the
+        next raw arrival, so every admitted request arrived at or
+        before ``time_s`` by construction.
+        """
+        done = bisect.bisect_left(self._completion_times, time_s)
+        completed = self._cum_completed[done - 1] if done else 0
+        return self.admitted - completed
+
+    def plan(self) -> tuple[float, int] | None:
+        """Seal the tenant's next batch, or ``None`` if it is done.
+
+        Ingests raw arrivals first.  With the queue empty every batch
+        of the lane is already committed, so each judgment (admit or
+        shed) is exact; with requests queued, arrivals are *admitted*
+        early whenever the occupancy bound already passes (completions
+        still to come can only lower occupancy, never flip an admit)
+        and otherwise left unjudged for :meth:`commit` to decide.
+        """
+        ctx = self.ctx
+        head = ctx.head
+        while head >= self.admitted and self.ptr < self.n:
+            # Empty queue: all completions are known, judge exactly.
+            if (
+                self.cap is None
+                or self._occupancy(self.raw[self.ptr]) < self.cap
+            ):
+                self._admit()
+            else:
+                self.shed.append(float(self.raw[self.ptr]))
+                self.ptr += 1
+        if head >= self.admitted:
+            return None  # every request judged and served
+        if self.cap is not None:
+            while (
+                self.ptr < self.n
+                and self._occupancy(self.raw[self.ptr]) < self.cap
+            ):
+                self._admit()
+        return plan_dispatch(
+            self.admitted_times[: self.admitted],
+            head,
+            self.policy,
+            ctx.core_free[0],
+        )
+
+    def queue_depth(self, time_s: float) -> int:
+        """Admitted-but-uncompleted requests at ``time_s``.
+
+        The queue-pressure signal the elastic reallocator watches:
+        arrivals up to ``time_s`` minus completions before it, i.e.
+        requests waiting for dispatch *plus* requests backed up inside
+        the pipeline (where the real backlog sits whenever an interior
+        core is the bottleneck).
+        """
+        arrived = int(
+            np.searchsorted(
+                self.admitted_times[: self.admitted], time_s, side="right"
+            )
+        )
+        done = bisect.bisect_left(self._completion_times, time_s)
+        completed = self._cum_completed[done - 1] if done else 0
+        return max(arrived - completed, 0)
+
+    def commit(self, dispatch: float, size: int) -> None:
+        """Book the planned batch and judge the arrivals up to it.
+
+        Every batch that completes before the dispatch instant is
+        already committed, so arrivals at or before it are judged
+        *exactly*: admitted if the system occupancy at their instant is
+        below the cap, shed otherwise (the count admission control
+        reports).  Arrivals admitted here join the queue for the next
+        batch — the committed batch's size was sealed at planning time.
+        """
+        while self.ptr < self.n and self.raw[self.ptr] <= dispatch:
+            if (
+                self.cap is None
+                or self._occupancy(self.raw[self.ptr]) < self.cap
+            ):
+                self._admit()
+            else:
+                self.shed.append(float(self.raw[self.ptr]))
+                self.ptr += 1
+        batch = execute_dispatch(self.ctx, dispatch, size)
+        self._completion_times.append(batch.completion_s)
+        previous = self._cum_completed[-1] if self._cum_completed else 0
+        self._cum_completed.append(previous + size)
+        self.widths.append(self.width)
+        self.served += size
+
+    def release_cores(self) -> list[tuple[int, float]]:
+        """Hand the lane's cores back once its trace is fully served.
+
+        Returns ``(core, frees_at)`` pairs: a reclaimed core is usable
+        elsewhere only after it drains the lane's final batch.
+        """
+        self.released = True
+        return [
+            (core, self.ctx.core_free[stage])
+            for stage, core in enumerate(self.phys)
+        ]
+
+    def resize(
+        self, new_phys: list[int], joining_free_s: float = 0.0
+    ) -> None:
+        """Re-partition the tenant's layers over a new core set.
+
+        The current pipeline drains first (the new partition needs its
+        weights re-programmed on every stage), and a core joining from
+        elsewhere is not usable before it frees up there.
+        """
+        drain = max(max(self.ctx.core_free), joining_free_s)
+        self.ctx.model = PipelineServiceModel.from_specs(
+            list(self.spec.specs), len(new_phys), self.config
+        )
+        self.ctx.stage_to_core = list(new_phys)
+        self.ctx.core_free = [drain] * len(new_phys)
+
+    def report(self) -> TenantServingReport:
+        """The tenant's final serving report."""
+        ctx = self.ctx
+        served = self.admitted
+        return TenantServingReport(
+            policy=self.policy,
+            num_cores=self.initial_width,
+            arrival_s=self.admitted_times[:served].copy(),
+            dispatch_s=ctx.dispatch_s[:served],
+            completion_s=ctx.completion_s[:served],
+            batches=tuple(ctx.batches),
+            core_busy_s=tuple(ctx.core_busy),
+            tenant=self.spec.name,
+            offered_arrival_s=self.raw,
+            shed_arrival_s=np.array(self.shed),
+            batch_num_cores=np.array(self.widths, dtype=int),
+            accuracy_proxy=np.array(self.proxies),
+        )
+
+
+def allocate_pool(
+    tenants: Sequence[ClusterTenant],
+    pool_size: int,
+    routing: RoutingPolicy | None = None,
+) -> tuple[list[list[int]], list[int]]:
+    """Split the pool into per-tenant core lists plus a free list.
+
+    Every tenant gets one core.  Under weighted-fair routing (the
+    default) the remaining cores go one at a time to the tenant with
+    the largest weighted deficit (its fair share minus what it holds);
+    under priority routing they go to tenants in descending priority
+    order, each filled to its useful maximum before the next rank sees
+    a core.  Tenants never exceed one core per conv layer.
+    Deterministic: ties break by tenant order.
+
+    Returns:
+        Per-tenant physical core id lists (contiguous ranges, in tenant
+        order) and the leftover free core ids.
+
+    Raises:
+        ValueError: if the pool cannot give every tenant a core.
+    """
+    if pool_size < len(tenants):
+        raise ValueError(
+            f"pool of {pool_size} cores cannot host {len(tenants)} tenants "
+            f"(need >= 1 core each)"
+        )
+    counts = [1] * len(tenants)
+    remaining = pool_size - len(tenants)
+    if routing is not None and routing.kind == "priority":
+        ranked = sorted(
+            range(len(tenants)),
+            key=lambda i: (-tenants[i].priority, i),
+        )
+        for index in ranked:
+            take = min(
+                remaining, tenants[index].max_useful_cores - counts[index]
+            )
+            counts[index] += take
+            remaining -= take
+    else:
+        total_weight = sum(tenant.weight for tenant in tenants)
+        shares = [
+            tenant.weight / total_weight * pool_size for tenant in tenants
+        ]
+        while remaining > 0:
+            deficits = [
+                (shares[i] - counts[i], -i)
+                for i, tenant in enumerate(tenants)
+                if counts[i] < tenant.max_useful_cores
+            ]
+            if not deficits:
+                break
+            _, neg_index = max(deficits)
+            counts[-neg_index] += 1
+            remaining -= 1
+    allocations: list[list[int]] = []
+    next_core = 0
+    for count in counts:
+        allocations.append(list(range(next_core, next_core + count)))
+        next_core += count
+    return allocations, list(range(next_core, pool_size))
+
+
+class ClusterSimulator:
+    """N models co-served on a shared core pool, on the unified kernel.
+
+    One global event loop: every tenant lane plans its next dispatch
+    with the kernel's :func:`~repro.core.simkernel.plan_dispatch`, the
+    earliest dispatch commits (simultaneous dispatches ordered by the
+    routing policy), admission control sheds what the committed batch
+    shut out, fault state machines advance on the owning tenant's
+    clock, and the elastic reallocator may move a core before the next
+    round of planning.
+
+    Args:
+        tenants: the co-served models (unique names).
+        pool_size: physical cores in the shared pool (>= one per
+            tenant).
+        routing: pool arbitration policy (weighted-fair by default).
+        elastic: elastic core reallocation policy; ``None`` freezes the
+            initial allocation.
+        schedule: fault schedule over the *physical pool cores*;
+            ``None`` keeps the pool pristine.
+        recalibration: online recalibration policy for degraded cores.
+        config: hardware configuration for partitioning and service
+            times.
+        probe_rings: rings in each pool core's accuracy-probe bank.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[ClusterTenant],
+        pool_size: int,
+        routing: RoutingPolicy | None = None,
+        elastic: ElasticReallocation | None = None,
+        schedule: FaultSchedule | None = None,
+        recalibration: RecalibrationPolicy | None = None,
+        config: PCNNAConfig | None = None,
+        probe_rings: int = 8,
+    ) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names!r}")
+        self.tenants = tuple(tenants)
+        self.pool_size = pool_size
+        self.routing = routing if routing is not None else RoutingPolicy()
+        self.elastic = elastic
+        self.schedule = schedule
+        self.recalibration = recalibration
+        self.config = config
+        self.probe_rings = probe_rings
+        self._allocations, self._free = allocate_pool(
+            tenants, pool_size, self.routing
+        )
+
+    def _tie_key(self, lane: _TenantLane) -> tuple:
+        """Routing preference for simultaneous dispatches (lower wins)."""
+        if self.routing.kind == "priority":
+            return (-lane.spec.priority, lane.index)
+        return (lane.served / lane.spec.weight, lane.index)
+
+    def _floor(self, lane: _TenantLane) -> int:
+        """Cores the routing policy guarantees the tenant keeps."""
+        if self.routing.kind == "weighted-fair":
+            return lane.initial_width
+        return 1
+
+    def _rebalance(
+        self,
+        now: float,
+        lanes: list[_TenantLane],
+        free: list[tuple[int, float]],
+        records: list[ReallocationRecord],
+    ) -> None:
+        """Move at most one core toward the most-pressured tenant."""
+        assert self.elastic is not None
+        active = [lane for lane in lanes if not lane.released]
+        pressures = {
+            lane.index: lane.queue_depth(now) / lane.width for lane in active
+        }
+        growable = [
+            lane
+            for lane in active
+            if lane.width < lane.spec.max_useful_cores
+            and lane.queue_depth(now) >= self.elastic.min_queue
+        ]
+        if not growable:
+            return
+        recipient = min(
+            growable,
+            key=lambda lane: (-pressures[lane.index], self._tie_key(lane)),
+        )
+        if free:
+            core, free_at = free.pop(0)
+            recipient.resize(recipient.phys + [core], free_at)
+            records.append(
+                ReallocationRecord(
+                    time_s=now,
+                    core=core,
+                    from_tenant=None,
+                    to_tenant=recipient.spec.name,
+                    donor_cores_after=0,
+                    recipient_cores_after=recipient.width,
+                )
+            )
+            return
+        donors = [
+            lane
+            for lane in active
+            if lane is not recipient and lane.width > self._floor(lane)
+        ]
+        if not donors:
+            return
+        donor = min(
+            donors, key=lambda lane: (pressures[lane.index], lane.index)
+        )
+        if pressures[recipient.index] < (
+            self.elastic.pressure_ratio * max(pressures[donor.index], 1.0)
+        ):
+            return
+        core = donor.phys[-1]
+        core_free_at = donor.ctx.core_free[-1]
+        donor.resize(donor.phys[:-1])
+        recipient.resize(recipient.phys + [core], core_free_at)
+        records.append(
+            ReallocationRecord(
+                time_s=now,
+                core=core,
+                from_tenant=donor.spec.name,
+                to_tenant=recipient.spec.name,
+                donor_cores_after=donor.width,
+                recipient_cores_after=recipient.width,
+            )
+        )
+
+    def run(self, arrival_s: Mapping[str, np.ndarray]) -> ClusterReport:
+        """Serve every tenant's trace to completion.
+
+        Args:
+            arrival_s: per-tenant sorted arrival traces, keyed by
+                tenant name (every tenant needs one).
+
+        Raises:
+            ValueError: on missing/unknown trace keys or a bad trace.
+        """
+        names = {tenant.name for tenant in self.tenants}
+        if set(arrival_s) != names:
+            raise ValueError(
+                f"need one arrival trace per tenant {sorted(names)}, got "
+                f"{sorted(arrival_s)}"
+            )
+        lanes = [
+            _TenantLane(
+                index,
+                tenant,
+                validate_arrival_trace(arrival_s[tenant.name]),
+                self._allocations[index],
+                self.pool_size,
+                self.config,
+            )
+            for index, tenant in enumerate(self.tenants)
+        ]
+        free: list[tuple[int, float]] = [(core, 0.0) for core in self._free]
+        health: dict[int, CoreHealthState] = {}
+        if self.schedule is not None:
+            health = {
+                core: CoreHealthState(core, self.schedule, self.probe_rings)
+                for core in range(self.pool_size)
+            }
+        downtime = [0.0] * self.pool_size
+        recalibrations: list[RecalibrationRecord] = []
+        reallocations: list[ReallocationRecord] = []
+        last_dispatch = 0.0
+
+        while True:
+            candidates = []
+            for lane in lanes:
+                if lane.released:
+                    continue
+                plan = lane.plan()
+                if plan is not None:
+                    candidates.append((plan, lane))
+                elif self.elastic is not None:
+                    # A finished tenant's cores go back to the pool for
+                    # the reallocator to hand to pressured neighbours.
+                    free.extend(lane.release_cores())
+            if not candidates:
+                break
+            (dispatch, size), lane = min(
+                candidates,
+                key=lambda item: (item[0][0], self._tie_key(item[1])),
+            )
+            last_dispatch = max(last_dispatch, dispatch)
+            if health:
+                self._degrade(lane, dispatch, health, downtime, recalibrations)
+            lane.commit(dispatch, size)
+            lane.proxies.append(
+                max(health[core].error for core in lane.phys)
+                if health
+                else 0.0
+            )
+            if self.elastic is not None and (
+                len(lanes) > 1 or free
+            ):
+                self._rebalance(dispatch, lanes, free, reallocations)
+
+        for state in health.values():
+            state.advance_to(last_dispatch)
+        return ClusterReport(
+            pool_size=self.pool_size,
+            routing=self.routing.kind,
+            tenants=tuple(lane.report() for lane in lanes),
+            reallocations=tuple(reallocations),
+            schedule_name=(
+                None if self.schedule is None else self.schedule.name
+            ),
+            recalibration_name=(
+                None if self.recalibration is None else self.recalibration.name
+            ),
+            core_downtime_s=tuple(downtime),
+            final_core_errors=tuple(
+                health[core].error if health else 0.0
+                for core in range(self.pool_size)
+            ),
+            recalibrations=tuple(recalibrations),
+        )
+
+    def _degrade(
+        self,
+        lane: _TenantLane,
+        dispatch: float,
+        health: dict[int, CoreHealthState],
+        downtime: list[float],
+        recalibrations: list[RecalibrationRecord],
+    ) -> None:
+        """Advance the lane's physical cores and pay recalibration."""
+        for core in lane.phys:
+            health[core].advance_to(dispatch)
+        if self.recalibration is None:
+            return
+        for stage, core in enumerate(lane.phys):
+            state = health[core]
+            if not state.should_recalibrate(self.recalibration):
+                continue
+            result = state.recalibrate(self.recalibration)
+            cost = self.recalibration.downtime_s(result.iterations)
+            lane.ctx.core_free[stage] = (
+                max(lane.ctx.core_free[stage], dispatch) + cost
+            )
+            downtime[core] += cost
+            recalibrations.append(
+                RecalibrationRecord(
+                    time_s=dispatch,
+                    core=core,
+                    iterations=result.iterations,
+                    residual=state.error,
+                    downtime_s=cost,
+                    restored=state.error
+                    <= self.recalibration.error_threshold,
+                )
+            )
+
+
+def simulate_cluster_serving(
+    tenants: Sequence[ClusterTenant],
+    arrival_s: Mapping[str, np.ndarray],
+    pool_size: int,
+    routing: RoutingPolicy | None = None,
+    elastic: ElasticReallocation | None = None,
+    schedule: FaultSchedule | None = None,
+    recalibration: RecalibrationPolicy | None = None,
+    config: PCNNAConfig | None = None,
+) -> ClusterReport:
+    """One-call multi-tenant cluster simulation.
+
+    The cluster sibling of :func:`~repro.core.traffic.simulate_serving`
+    and :func:`~repro.core.faults.simulate_degraded_serving`: builds the
+    :class:`ClusterSimulator` and serves every tenant's trace.
+
+    Raises:
+        ValueError: on an invalid tenant set, pool size, or trace.
+    """
+    simulator = ClusterSimulator(
+        tenants,
+        pool_size,
+        routing=routing,
+        elastic=elastic,
+        schedule=schedule,
+        recalibration=recalibration,
+        config=config,
+    )
+    return simulator.run(arrival_s)
+
+
+def replay_tenant_on_engine(
+    network: Network,
+    report: TenantServingReport,
+    inputs: np.ndarray,
+    config: PCNNAConfig | None = None,
+) -> np.ndarray:
+    """Execute one tenant's simulated batches on the real engine.
+
+    Each batch the cluster formed for the tenant is dispatched as one
+    minibatch to the pipelined runner at the width *that batch* actually
+    saw (elastic reallocation changes it mid-run), and each request's
+    output is scattered back to its slot — in ideal mode bit-identical
+    to running every served request alone, and for a single-tenant
+    zero-fault cluster bit-identical to
+    :func:`~repro.core.traffic.replay_on_engine`.
+
+    Args:
+        network: the tenant's network.
+        report: the tenant's report from a cluster run.
+        inputs: per-*served*-request inputs, shape
+            ``(report.num_requests, *network.input_shape)``.
+        config: hardware configuration for execution.
+
+    Raises:
+        ValueError: if ``inputs`` does not cover the served requests.
+    """
+    inputs = validate_replay_inputs(network, report, inputs)
+    return replay_batches(
+        network, report.batches, report.batch_num_cores, inputs, config
+    )
+
+
+__all__ = [
+    "ROUTING_KINDS",
+    "ClusterReport",
+    "ClusterSimulator",
+    "ClusterTenant",
+    "ElasticReallocation",
+    "ReallocationRecord",
+    "RoutingPolicy",
+    "TenantServingReport",
+    "allocate_pool",
+    "replay_tenant_on_engine",
+    "simulate_cluster_serving",
+]

@@ -29,9 +29,13 @@ simulated clock for the first time:
   on the *real* engine with each core's conv weights pushed through the
   measured drift transfer, reporting golden-output divergence per batch.
 
-The engine is differential by construction: dispatch planning is the
-exact :func:`~repro.core.traffic.plan_dispatch` arithmetic the fault-free
-simulator uses, so a zero-magnitude schedule yields a bit-identical
+The engine is differential by construction: the whole event loop is the
+unified kernel of :mod:`repro.core.simkernel` — fault-and-drift
+bookkeeping rides along as :class:`FaultPlugin`, a kernel plugin whose
+hooks advance the drift state machines, pay recalibration downtime, and
+re-partition around failed cores, while dispatch planning and the
+pipeline walk stay the exact arithmetic the fault-free simulator uses.
+A zero-magnitude schedule therefore yields a bit-identical
 :class:`~repro.core.traffic.ServingReport` (and a bit-identical engine
 replay) — the property ``tests/test_differential_faults.py`` pins.
 """
@@ -45,13 +49,16 @@ import numpy as np
 
 from repro.core.config import PCNNAConfig
 from repro.core.serving import run_network_pipelined, stage_layer_slices
-from repro.core.traffic import (
+from repro.core.simkernel import (
     BatchingPolicy,
     BatchRecord,
+    DispatchContext,
+    EventLoopKernel,
+    KernelPlugin,
+)
+from repro.core.traffic import (
     PipelineServiceModel,
     ServingReport,
-    plan_dispatch,
-    validate_arrival_trace,
     validate_replay_inputs,
 )
 from repro.nn.layers import Conv2D
@@ -644,14 +651,180 @@ class DegradedServingReport(ServingReport):
         return "\n".join(lines)
 
 
+class FaultPlugin(KernelPlugin):
+    """Fault-and-drift bookkeeping as a plugin on the event-loop kernel.
+
+    At every sealed dispatch the plugin advances each serving core's
+    drift state machine to the dispatch instant, lets the recalibration
+    policy drain cores (downtime pushed into the kernel's ``core_free``
+    clock), and — when a core degrades beyond recalibration's reach —
+    re-partitions the layers over the survivors by swapping the kernel's
+    service model and stage→core map.  After each batch it records the
+    accuracy proxy, the pipeline width, and the per-stage drift
+    snapshots the degraded engine replay consumes.
+
+    The plugin never touches dispatch planning or the pipeline-walk
+    arithmetic, which is why a zero-magnitude schedule stays
+    bit-identical to the plain kernel.
+
+    Args:
+        schedule: the fault schedule to inject.
+        recalibration: online recalibration policy; ``None`` disables
+            recalibration entirely.
+        specs: the served network's conv layers; required for
+            fault-aware repartitioning (``None`` disables it).
+        config: hardware configuration used when repartitioning.
+        fail_error_threshold: weight error beyond which a core is
+            declared failed and drained out of the pipeline.
+        probe_rings: rings in each core's accuracy-probe bank.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        recalibration: RecalibrationPolicy | None = None,
+        specs: list[ConvLayerSpec] | None = None,
+        config: PCNNAConfig | None = None,
+        fail_error_threshold: float = 0.5,
+        probe_rings: int = 8,
+    ) -> None:
+        if fail_error_threshold <= 0.0:
+            raise ValueError(
+                f"fail threshold must be positive, got "
+                f"{fail_error_threshold!r}"
+            )
+        self.schedule = schedule
+        self.recalibration = recalibration
+        self.specs = specs
+        self.config = config
+        self.fail_error_threshold = fail_error_threshold
+        self.probe_rings = probe_rings
+        self.states: list[CoreHealthState] = []
+        self.downtime: list[float] = []
+        self.proxies: list[float] = []
+        self.widths: list[int] = []
+        self.snapshots: list[tuple[CoreDriftSnapshot, ...]] = []
+        self.recalibrations: list[RecalibrationRecord] = []
+        self.repartitions: list[RepartitionRecord] = []
+
+    def on_run_start(self, ctx: DispatchContext) -> None:
+        """Seed one drift state machine per physical pipeline core.
+
+        Every per-run record is reset here, so one plugin instance can
+        be attached to consecutive kernel runs without leaking state.
+        """
+        width = ctx.model.num_cores
+        self.states = [
+            CoreHealthState(core, self.schedule, self.probe_rings)
+            for core in range(width)
+        ]
+        self.downtime = [0.0] * width
+        self.proxies = []
+        self.widths = []
+        self.snapshots = []
+        self.recalibrations = []
+        self.repartitions = []
+
+    def on_dispatch_planned(
+        self, ctx: DispatchContext, dispatch_s: float, size: int
+    ) -> None:
+        """Advance the substrate, recalibrate, and repartition."""
+        states = self.states
+        stage_to_core = ctx.stage_to_core
+        core_free = ctx.core_free
+
+        # -- substrate: advance every serving core to this instant --
+        for core in stage_to_core:
+            states[core].advance_to(dispatch_s)
+
+        # -- recalibration: drain a core, pay downtime on the clock --
+        if self.recalibration is not None:
+            for stage, core in enumerate(stage_to_core):
+                state = states[core]
+                if not state.should_recalibrate(self.recalibration):
+                    continue
+                result = state.recalibrate(self.recalibration)
+                cost = self.recalibration.downtime_s(result.iterations)
+                core_free[stage] = max(core_free[stage], dispatch_s) + cost
+                self.downtime[core] += cost
+                self.recalibrations.append(
+                    RecalibrationRecord(
+                        time_s=dispatch_s,
+                        core=core,
+                        iterations=result.iterations,
+                        residual=state.error,
+                        downtime_s=cost,
+                        restored=state.error
+                        <= self.recalibration.error_threshold,
+                    )
+                )
+
+        # -- fault-aware scheduler: drain and re-partition around
+        #    cores degraded beyond recalibration's reach --
+        if self.specs is not None and len(stage_to_core) > 1:
+            failing = [
+                core
+                for core in stage_to_core
+                if states[core].error >= self.fail_error_threshold
+            ]
+            if failing and len(failing) < len(stage_to_core):
+                survivors = [
+                    core for core in stage_to_core if core not in failing
+                ]
+                drain = max(core_free)
+                ctx.model = PipelineServiceModel.from_specs(
+                    self.specs,
+                    len(survivors),
+                    self.config,
+                    clamp_cores=True,
+                )
+                ctx.stage_to_core = survivors
+                ctx.core_free = [drain] * len(survivors)
+                self.repartitions.append(
+                    RepartitionRecord(
+                        time_s=dispatch_s,
+                        failed_cores=tuple(failing),
+                        num_cores_after=len(survivors),
+                    )
+                )
+
+    def on_batch_complete(
+        self, ctx: DispatchContext, batch: BatchRecord
+    ) -> None:
+        """Record the batch's proxy, width, and drift snapshots."""
+        states = self.states
+        self.proxies.append(
+            max(states[core].error for core in ctx.stage_to_core)
+        )
+        self.widths.append(ctx.model.num_cores)
+        self.snapshots.append(
+            tuple(states[core].snapshot() for core in ctx.stage_to_core)
+        )
+
+    def on_run_end(self, ctx: DispatchContext) -> None:
+        """Advance every state machine to the final dispatch instant.
+
+        Drained cores stop being advanced by the dispatch loop; this
+        brings every state to the end of the run so
+        ``final_core_errors`` reports end-of-run degradation, not
+        drain-time snapshots.
+        """
+        final_time = ctx.batches[-1].dispatch_s
+        for state in self.states:
+            state.advance_to(final_time)
+
+
 class DegradedServingSimulator:
     """The serving event loop with hardware degradation on the clock.
 
-    Identical to :class:`~repro.core.traffic.ServingSimulator` except
-    that at every dispatch instant each core's drift state machine is
-    advanced, the recalibration policy may drain a core (downtime on the
-    shared clock), and the fault-aware scheduler may re-partition the
-    layers over the surviving cores.
+    A facade over the unified kernel: the event loop is
+    :class:`~repro.core.simkernel.EventLoopKernel` with a
+    :class:`FaultPlugin` attached, so it is identical to
+    :class:`~repro.core.traffic.ServingSimulator` except that at every
+    dispatch instant each core's drift state machine is advanced, the
+    recalibration policy may drain a core (downtime on the shared
+    clock), and the fault-aware scheduler may re-partition the layers
+    over the surviving cores.
 
     Args:
         model: the healthy per-core service model (initial pipeline).
@@ -678,11 +851,6 @@ class DegradedServingSimulator:
         fail_error_threshold: float = 0.5,
         probe_rings: int = 8,
     ) -> None:
-        if fail_error_threshold <= 0.0:
-            raise ValueError(
-                f"fail threshold must be positive, got "
-                f"{fail_error_threshold!r}"
-            )
         self.model = model
         self.policy = policy
         self.schedule = schedule
@@ -691,6 +859,19 @@ class DegradedServingSimulator:
         self.config = config
         self.fail_error_threshold = fail_error_threshold
         self.probe_rings = probe_rings
+        # Validate plugin arguments eagerly so a bad threshold fails at
+        # construction, as it always has.
+        self._make_plugin()
+
+    def _make_plugin(self) -> FaultPlugin:
+        return FaultPlugin(
+            schedule=self.schedule,
+            recalibration=self.recalibration,
+            specs=self.specs,
+            config=self.config,
+            fail_error_threshold=self.fail_error_threshold,
+            probe_rings=self.probe_rings,
+        )
 
     def run(self, arrival_s: np.ndarray) -> DegradedServingReport:
         """Serve a trace to completion under the fault schedule.
@@ -698,140 +879,29 @@ class DegradedServingSimulator:
         Raises:
             ValueError: on an empty or unsorted trace.
         """
-        arrivals = validate_arrival_trace(arrival_s)
-
-        model = self.model
-        policy = self.policy
-        num_requests = arrivals.size
-        width = model.num_cores
-        stage_to_core = list(range(width))
-        core_free = [0.0] * width
-        core_busy = [0.0] * width
-        downtime = [0.0] * width
-        states = [
-            CoreHealthState(core, self.schedule, self.probe_rings)
-            for core in range(width)
-        ]
-        dispatch_s = np.empty(num_requests)
-        completion_s = np.empty(num_requests)
-        batches: list[BatchRecord] = []
-        proxies: list[float] = []
-        widths: list[int] = []
-        snapshots: list[tuple[CoreDriftSnapshot, ...]] = []
-        recalibrations: list[RecalibrationRecord] = []
-        repartitions: list[RepartitionRecord] = []
-
-        head = 0
-        while head < num_requests:
-            dispatch, size = plan_dispatch(arrivals, head, policy, core_free[0])
-
-            # -- substrate: advance every serving core to this instant --
-            for core in stage_to_core:
-                states[core].advance_to(dispatch)
-
-            # -- recalibration: drain a core, pay downtime on the clock --
-            if self.recalibration is not None:
-                for stage, core in enumerate(stage_to_core):
-                    state = states[core]
-                    if not state.should_recalibrate(self.recalibration):
-                        continue
-                    result = state.recalibrate(self.recalibration)
-                    cost = self.recalibration.downtime_s(result.iterations)
-                    core_free[stage] = max(core_free[stage], dispatch) + cost
-                    downtime[core] += cost
-                    recalibrations.append(
-                        RecalibrationRecord(
-                            time_s=dispatch,
-                            core=core,
-                            iterations=result.iterations,
-                            residual=state.error,
-                            downtime_s=cost,
-                            restored=state.error
-                            <= self.recalibration.error_threshold,
-                        )
-                    )
-
-            # -- fault-aware scheduler: drain and re-partition around
-            #    cores degraded beyond recalibration's reach --
-            if self.specs is not None and len(stage_to_core) > 1:
-                failing = [
-                    core
-                    for core in stage_to_core
-                    if states[core].error >= self.fail_error_threshold
-                ]
-                if failing and len(failing) < len(stage_to_core):
-                    survivors = [
-                        core for core in stage_to_core if core not in failing
-                    ]
-                    drain = max(core_free)
-                    model = PipelineServiceModel.from_specs(
-                        self.specs,
-                        len(survivors),
-                        self.config,
-                        clamp_cores=True,
-                    )
-                    stage_to_core = survivors
-                    core_free = [drain] * len(survivors)
-                    repartitions.append(
-                        RepartitionRecord(
-                            time_s=dispatch,
-                            failed_cores=tuple(failing),
-                            num_cores_after=len(survivors),
-                        )
-                    )
-
-            # -- dispatch on the current pipeline (base-loop arithmetic) --
-            start = dispatch
-            for stage in range(model.num_cores):
-                begun = max(start, core_free[stage])
-                busy = model.core_busy_s(stage, size)
-                start = begun + busy
-                core_free[stage] = start
-                core_busy[stage_to_core[stage]] += busy
-            batches.append(
-                BatchRecord(
-                    index=len(batches),
-                    first_request=head,
-                    size=size,
-                    dispatch_s=dispatch,
-                    completion_s=start,
-                )
-            )
-            proxies.append(max(states[core].error for core in stage_to_core))
-            widths.append(model.num_cores)
-            snapshots.append(
-                tuple(states[core].snapshot() for core in stage_to_core)
-            )
-            dispatch_s[head : head + size] = dispatch
-            completion_s[head : head + size] = start
-            head += size
-
-        # Drained cores stop being advanced by the dispatch loop; bring
-        # every state to the final dispatch instant so final_core_errors
-        # reports end-of-run degradation, not drain-time snapshots.
-        final_time = batches[-1].dispatch_s
-        for state in states:
-            state.advance_to(final_time)
-
+        plugin = self._make_plugin()
+        run = EventLoopKernel(self.model, self.policy, (plugin,)).run(
+            arrival_s
+        )
         return DegradedServingReport(
-            policy=policy,
-            num_cores=width,
-            arrival_s=arrivals,
-            dispatch_s=dispatch_s,
-            completion_s=completion_s,
-            batches=tuple(batches),
-            core_busy_s=tuple(core_busy),
+            policy=self.policy,
+            num_cores=run.initial_num_cores,
+            arrival_s=run.arrival_s,
+            dispatch_s=run.dispatch_s,
+            completion_s=run.completion_s,
+            batches=run.batches,
+            core_busy_s=run.core_busy_s,
             schedule_name=self.schedule.name,
             recalibration_name=(
                 None if self.recalibration is None else self.recalibration.name
             ),
-            accuracy_proxy=np.array(proxies),
-            batch_num_cores=np.array(widths, dtype=int),
-            batch_snapshots=tuple(snapshots),
-            core_downtime_s=tuple(downtime),
-            final_core_errors=tuple(state.error for state in states),
-            recalibrations=tuple(recalibrations),
-            repartitions=tuple(repartitions),
+            accuracy_proxy=np.array(plugin.proxies),
+            batch_num_cores=np.array(plugin.widths, dtype=int),
+            batch_snapshots=tuple(plugin.snapshots),
+            core_downtime_s=tuple(plugin.downtime),
+            final_core_errors=tuple(state.error for state in plugin.states),
+            recalibrations=tuple(plugin.recalibrations),
+            repartitions=tuple(plugin.repartitions),
         )
 
 
@@ -1026,6 +1096,7 @@ __all__ = [
     "DegradedServingReport",
     "DegradedServingSimulator",
     "DegradedReplay",
+    "FaultPlugin",
     "simulate_degraded_serving",
     "replay_on_engine_degraded",
 ]

@@ -1,0 +1,438 @@
+"""The unified discrete-event serving kernel.
+
+PR 3 built a request-level serving simulator (:mod:`repro.core.traffic`)
+and PR 4 forked its event loop to add hardware degradation
+(:mod:`repro.core.faults`).  Every further serving scenario — and the
+multi-tenant cluster runtime in :mod:`repro.core.cluster` — would have
+been a third copy of the same loop, so this module extracts the loop
+once:
+
+* :func:`plan_dispatch` — the scheduler's entire batching decision
+  (when does the queue head's batch seal, and how big is it);
+* :func:`execute_dispatch` — the pipeline walk that books one sealed
+  batch onto the cores (the float arithmetic every simulator shares
+  verbatim, which is what makes the facades *bit-identical* to their
+  pre-kernel selves);
+* :class:`EventLoopKernel` — the queue → batcher → pipeline loop with
+  :class:`KernelPlugin` hooks at the three points a scenario can differ:
+  after a dispatch is planned (``on_dispatch_planned`` — where the fault
+  engine advances drift state machines, pays recalibration downtime, and
+  re-partitions around failed cores), after a batch completes
+  (``on_batch_complete`` — per-batch bookkeeping), and at run start/end.
+
+:class:`~repro.core.traffic.ServingSimulator` is the kernel with no
+plugins; :class:`~repro.core.faults.DegradedServingSimulator` is the
+kernel plus :class:`~repro.core.faults.FaultPlugin`; the cluster runtime
+drives one :class:`DispatchContext` per tenant through the same
+:func:`plan_dispatch` / :func:`execute_dispatch` pair.  The simulated
+clock is decoupled from wall time and every input is seeded, so a fixed
+seed yields bit-identical results on every run.
+
+:class:`BatchingPolicy`, :class:`BatchRecord`, and
+:func:`validate_arrival_trace` live here because every front door shares
+them; :mod:`repro.core.traffic` re-exports the full historical API.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """When does the queue head stop waiting for batch-mates?
+
+    The scheduler forms a batch at the moment the pipeline's first core
+    is free, taking every queued request up to ``max_batch``; if fewer
+    are queued, the head is allowed to wait up to ``max_wait_s`` after
+    its arrival for more to show up.  ``max_wait_s = 0`` dispatches
+    whatever is queued immediately (latency-greedy); ``max_wait_s =
+    inf`` holds out for a full batch (throughput-greedy, the fixed-size
+    policy; the end of the trace flushes a final partial batch).
+
+    Attributes:
+        name: label used in reports and sweep tables.
+        max_batch: largest batch the scheduler may form.
+        max_wait_s: longest the queue head may wait for batch-mates
+            after its arrival.
+    """
+
+    name: str
+    max_batch: int
+    max_wait_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(
+                f"{self.name}: max batch must be >= 1, got {self.max_batch!r}"
+            )
+        if self.max_wait_s < 0.0 or math.isnan(self.max_wait_s):
+            raise ValueError(
+                f"{self.name}: max wait must be >= 0, got {self.max_wait_s!r}"
+            )
+
+    @classmethod
+    def fifo(cls) -> "BatchingPolicy":
+        """Batch-free baseline: every request is dispatched alone."""
+        return cls(name="fifo-1", max_batch=1, max_wait_s=0.0)
+
+    @classmethod
+    def dynamic(cls, max_batch: int, max_wait_s: float) -> "BatchingPolicy":
+        """Production dynamic batching: size cap plus wait-time cap."""
+        return cls(
+            name=f"dynamic-{max_batch}@{max_wait_s:.3g}s",
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+        )
+
+    @classmethod
+    def fixed(cls, batch: int) -> "BatchingPolicy":
+        """Hold out for a full ``batch`` no matter how long it takes."""
+        return cls(name=f"fixed-{batch}", max_batch=batch, max_wait_s=math.inf)
+
+    def capped(self, cap: int) -> "BatchingPolicy":
+        """The same policy with ``max_batch`` clamped to ``cap``.
+
+        Used by admission control: a queue that can never hold more
+        than ``cap`` requests can never fill a larger batch, so the
+        dispatch planner must not wait for one.  Returns ``self``
+        unchanged when the cap is not binding (preserving bit-identical
+        planning for uncapped tenants).
+
+        Raises:
+            ValueError: if ``cap`` is not positive.
+        """
+        if cap < 1:
+            raise ValueError(f"batch cap must be >= 1, got {cap!r}")
+        if cap >= self.max_batch:
+            return self
+        return BatchingPolicy(
+            name=self.name, max_batch=cap, max_wait_s=self.max_wait_s
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched batch of the simulated schedule.
+
+    Attributes:
+        index: dispatch order.
+        first_request: index of the batch's first request (requests are
+            batched in arrival order, so the batch covers
+            ``[first_request, first_request + size)``).
+        size: number of requests in the batch.
+        dispatch_s: when the scheduler released the batch to core 0.
+        completion_s: when the last core finished the batch.
+    """
+
+    index: int
+    first_request: int
+    size: int
+    dispatch_s: float
+    completion_s: float
+
+
+def validate_arrival_trace(arrival_s: np.ndarray) -> np.ndarray:
+    """Validate and normalize a request arrival trace.
+
+    Shared by every simulator front door (traffic, faults, cluster), so
+    a bad trace fails with the same message everywhere.  Zero-length
+    traces are rejected up front with their own message: a serving run
+    over no requests has no latencies, no batches, and no percentiles,
+    so every downstream metric would be undefined.
+
+    Raises:
+        ValueError: on an empty, non-1-D, or unsorted trace.
+    """
+    arrivals = np.asarray(arrival_s, dtype=float)
+    if arrivals.size == 0:
+        raise ValueError(
+            "arrival trace is empty — need at least one request to serve"
+        )
+    if arrivals.ndim != 1:
+        raise ValueError(
+            f"need a non-empty 1-D arrival trace, got shape "
+            f"{arrivals.shape}"
+        )
+    if np.any(np.diff(arrivals) < 0.0):
+        raise ValueError("arrival times must be sorted ascending")
+    return arrivals
+
+
+def plan_dispatch(
+    arrivals: np.ndarray,
+    head: int,
+    policy: BatchingPolicy,
+    core0_free_s: float,
+) -> tuple[float, int]:
+    """When does the queue head's batch dispatch, and how big is it?
+
+    The batch is sealed at the latest of: the head's arrival, core 0
+    freeing up, and the policy trigger (batch full or head's wait budget
+    exhausted).  This single function is the scheduler's entire batching
+    decision; every simulator built on the kernel shares it verbatim,
+    which is what makes a zero-magnitude fault run — and a single-tenant
+    cluster run — *bit-identical* to the plain simulator: all of them
+    plan every dispatch with the exact same float arithmetic.
+
+    Returns:
+        ``(dispatch_s, size)`` for the batch starting at ``head``.
+    """
+    earliest = max(arrivals[head], core0_free_s)
+    full_index = head + policy.max_batch - 1
+    fills_at = (
+        arrivals[full_index] if full_index < arrivals.size else math.inf
+    )
+    deadline = arrivals[head] + policy.max_wait_s
+    dispatch = max(earliest, min(deadline, fills_at))
+    if math.isinf(dispatch):
+        # Fixed-size tail: the batch can never fill and the head may
+        # wait forever, so flush everything left as one final partial
+        # batch once the last request has arrived.
+        dispatch = max(core0_free_s, arrivals[-1])
+    queued = int(np.searchsorted(arrivals, dispatch, side="right") - head)
+    size = max(1, min(policy.max_batch, queued))
+    return dispatch, size
+
+
+class DispatchContext:
+    """Mutable state of one serving pipeline inside the event loop.
+
+    Plugins receive the context at every hook and may mutate the
+    pipeline mid-run — push a core's free time forward (recalibration
+    downtime), swap the service model and the stage→core map
+    (fault-aware repartitioning), or resize the pipeline (elastic
+    reallocation in the cluster runtime).
+
+    Attributes:
+        arrivals: the (validated) arrival trace being served.
+        policy: the batching policy sealing dispatches.
+        model: the current per-core service-time model (a
+            :class:`~repro.core.traffic.PipelineServiceModel`); plugins
+            may replace it.
+        stage_to_core: physical core index behind each pipeline stage.
+            Starts as the identity map; shrinks when a plugin drains
+            cores out of the pipeline.
+        core_free: per-*stage* time the core frees up.
+        core_busy: per-*physical-core* accumulated busy time (length
+            never changes — drained cores keep their history).
+        head: index of the next request to dispatch.
+        batches: every sealed batch so far, in dispatch order.
+        dispatch_s: per-request batch-dispatch times (filled as batches
+            seal).
+        completion_s: per-request completion times.
+        initial_num_cores: pipeline width at the start of the run.
+    """
+
+    __slots__ = (
+        "arrivals",
+        "policy",
+        "model",
+        "stage_to_core",
+        "core_free",
+        "core_busy",
+        "head",
+        "batches",
+        "dispatch_s",
+        "completion_s",
+        "initial_num_cores",
+    )
+
+    def __init__(self, model, policy: BatchingPolicy, arrivals: np.ndarray):
+        width = model.num_cores
+        self.arrivals = arrivals
+        self.policy = policy
+        self.model = model
+        self.stage_to_core = list(range(width))
+        self.core_free = [0.0] * width
+        self.core_busy = [0.0] * width
+        self.head = 0
+        self.batches: list[BatchRecord] = []
+        self.dispatch_s = np.empty(arrivals.size)
+        self.completion_s = np.empty(arrivals.size)
+        self.initial_num_cores = width
+
+    @property
+    def num_requests(self) -> int:
+        """Requests in the trace."""
+        return int(self.arrivals.size)
+
+    @property
+    def done(self) -> bool:
+        """Whether every request has been dispatched."""
+        return self.head >= self.arrivals.size
+
+
+def execute_dispatch(
+    ctx: DispatchContext, dispatch: float, size: int
+) -> BatchRecord:
+    """Book one sealed batch onto the context's pipeline.
+
+    The batch walks the stages in order; each stage is busy for its
+    weight-programming time plus ``size * conv`` time and hands the
+    batch to the next stage whole.  Busy time is charged to the
+    *physical* core behind each stage, so per-core accounting survives
+    repartitions.  This is the exact arithmetic of the pre-kernel
+    simulators — the bit-identity the facades and golden fixtures pin.
+    """
+    model = ctx.model
+    core_free = ctx.core_free
+    core_busy = ctx.core_busy
+    stage_to_core = ctx.stage_to_core
+    batches = ctx.batches
+    head = ctx.head
+    start = dispatch
+    for stage in range(model.num_cores):
+        begun = max(start, core_free[stage])
+        busy = model.core_busy_s(stage, size)
+        start = begun + busy
+        core_free[stage] = start
+        core_busy[stage_to_core[stage]] += busy
+    batch = BatchRecord(
+        index=len(batches),
+        first_request=head,
+        size=size,
+        dispatch_s=dispatch,
+        completion_s=start,
+    )
+    batches.append(batch)
+    stop = head + size
+    ctx.dispatch_s[head:stop] = dispatch
+    ctx.completion_s[head:stop] = start
+    ctx.head = stop
+    return batch
+
+
+class KernelPlugin:
+    """Hook points a serving scenario can attach to the event loop.
+
+    Subclass and override what the scenario needs; every default is a
+    no-op, so the plain kernel and a kernel with a vacuous plugin run
+    the identical arithmetic.  Hooks run in plugin order at each point.
+    """
+
+    def on_run_start(self, ctx: DispatchContext) -> None:
+        """Called once before the first dispatch is planned."""
+
+    def on_dispatch_planned(
+        self, ctx: DispatchContext, dispatch_s: float, size: int
+    ) -> None:
+        """Called after a dispatch is sealed, before it executes.
+
+        The hook where degradation rides the clock: advance substrate
+        state to ``dispatch_s``, pay downtime into ``ctx.core_free``,
+        or swap ``ctx.model`` / ``ctx.stage_to_core`` to re-partition.
+        The sealed ``(dispatch_s, size)`` itself is never revisited —
+        matching the pre-kernel simulators, where recalibration delayed
+        a batch's *completion*, not its dispatch decision.
+        """
+
+    def on_batch_complete(
+        self, ctx: DispatchContext, batch: BatchRecord
+    ) -> None:
+        """Called after a batch is booked onto the pipeline."""
+
+    def on_run_end(self, ctx: DispatchContext) -> None:
+        """Called once after the last batch completes."""
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Everything the kernel measured over one serving run.
+
+    The scenario facades wrap this in their report types
+    (:class:`~repro.core.traffic.ServingReport` and subclasses).
+
+    Attributes:
+        arrival_s: the served arrival trace.
+        dispatch_s: per-request batch-dispatch times.
+        completion_s: per-request completion times.
+        batches: the dispatched batches, in order.
+        core_busy_s: per-physical-core total busy time.
+        initial_num_cores: pipeline width at the start of the run.
+    """
+
+    arrival_s: np.ndarray
+    dispatch_s: np.ndarray
+    completion_s: np.ndarray
+    batches: tuple[BatchRecord, ...]
+    core_busy_s: tuple[float, ...]
+    initial_num_cores: int
+
+
+class EventLoopKernel:
+    """The seeded discrete-event loop: queue → batcher → core pipeline.
+
+    Args:
+        model: the per-core service-time model
+            (:class:`~repro.core.traffic.PipelineServiceModel`).
+        policy: the batching policy.
+        plugins: scenario hooks, run in order at each hook point.
+    """
+
+    def __init__(
+        self,
+        model,
+        policy: BatchingPolicy,
+        plugins: tuple[KernelPlugin, ...] = (),
+    ) -> None:
+        self.model = model
+        self.policy = policy
+        self.plugins = tuple(plugins)
+
+    def run(self, arrival_s: np.ndarray) -> KernelRun:
+        """Serve a trace of arrival times to completion.
+
+        Raises:
+            ValueError: on an empty or unsorted trace.
+        """
+        arrivals = validate_arrival_trace(arrival_s)
+        ctx = DispatchContext(self.model, self.policy, arrivals)
+        plugins = self.plugins
+        num_requests = arrivals.size
+        for plugin in plugins:
+            plugin.on_run_start(ctx)
+        if plugins:
+            while ctx.head < num_requests:
+                dispatch, size = plan_dispatch(
+                    arrivals, ctx.head, ctx.policy, ctx.core_free[0]
+                )
+                for plugin in plugins:
+                    plugin.on_dispatch_planned(ctx, dispatch, size)
+                batch = execute_dispatch(ctx, dispatch, size)
+                for plugin in plugins:
+                    plugin.on_batch_complete(ctx, batch)
+        else:
+            # Hot path: the plain simulator and every zero-plugin run.
+            # Identical arithmetic, no per-batch hook dispatch.
+            while ctx.head < num_requests:
+                dispatch, size = plan_dispatch(
+                    arrivals, ctx.head, ctx.policy, ctx.core_free[0]
+                )
+                execute_dispatch(ctx, dispatch, size)
+        for plugin in plugins:
+            plugin.on_run_end(ctx)
+        return KernelRun(
+            arrival_s=arrivals,
+            dispatch_s=ctx.dispatch_s,
+            completion_s=ctx.completion_s,
+            batches=tuple(ctx.batches),
+            core_busy_s=tuple(ctx.core_busy),
+            initial_num_cores=ctx.initial_num_cores,
+        )
+
+
+__all__ = [
+    "BatchingPolicy",
+    "BatchRecord",
+    "DispatchContext",
+    "EventLoopKernel",
+    "KernelPlugin",
+    "KernelRun",
+    "execute_dispatch",
+    "plan_dispatch",
+    "validate_arrival_trace",
+]

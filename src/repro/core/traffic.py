@@ -28,6 +28,14 @@ discrete-event simulator:
   reproduces both the pipeline-fill latency and the steady-state
   bottleneck rate of the analytical model.
 
+The event loop itself lives in :mod:`repro.core.simkernel` — the
+unified kernel the fault engine (:mod:`repro.core.faults`) and the
+multi-tenant cluster runtime (:mod:`repro.core.cluster`) share.
+:class:`ServingSimulator` is the kernel with no plugins; this module
+re-exports the kernel's front-door types (:class:`BatchingPolicy`,
+:class:`BatchRecord`, :func:`plan_dispatch`,
+:func:`validate_arrival_trace`) so the historical API is unchanged.
+
 The simulated clock is decoupled from wall time and every input is
 seeded, so a fixed seed yields bit-identical percentile latencies on
 every run.  :func:`replay_on_engine` re-executes a simulated schedule's
@@ -37,9 +45,9 @@ servable: outputs are bit-identical to running every request alone.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 
@@ -51,61 +59,15 @@ from repro.core.multicore import (
     validate_num_cores,
 )
 from repro.core.serving import run_network_pipelined
+from repro.core.simkernel import (
+    BatchingPolicy,
+    BatchRecord,
+    EventLoopKernel,
+    plan_dispatch,
+    validate_arrival_trace,
+)
 from repro.nn.network import Network
 from repro.nn.shapes import ConvLayerSpec
-
-
-@dataclass(frozen=True)
-class BatchingPolicy:
-    """When does the queue head stop waiting for batch-mates?
-
-    The scheduler forms a batch at the moment the pipeline's first core
-    is free, taking every queued request up to ``max_batch``; if fewer
-    are queued, the head is allowed to wait up to ``max_wait_s`` after
-    its arrival for more to show up.  ``max_wait_s = 0`` dispatches
-    whatever is queued immediately (latency-greedy); ``max_wait_s =
-    inf`` holds out for a full batch (throughput-greedy, the fixed-size
-    policy; the end of the trace flushes a final partial batch).
-
-    Attributes:
-        name: label used in reports and sweep tables.
-        max_batch: largest batch the scheduler may form.
-        max_wait_s: longest the queue head may wait for batch-mates
-            after its arrival.
-    """
-
-    name: str
-    max_batch: int
-    max_wait_s: float
-
-    def __post_init__(self) -> None:
-        if self.max_batch < 1:
-            raise ValueError(
-                f"{self.name}: max batch must be >= 1, got {self.max_batch!r}"
-            )
-        if self.max_wait_s < 0.0 or math.isnan(self.max_wait_s):
-            raise ValueError(
-                f"{self.name}: max wait must be >= 0, got {self.max_wait_s!r}"
-            )
-
-    @classmethod
-    def fifo(cls) -> "BatchingPolicy":
-        """Batch-free baseline: every request is dispatched alone."""
-        return cls(name="fifo-1", max_batch=1, max_wait_s=0.0)
-
-    @classmethod
-    def dynamic(cls, max_batch: int, max_wait_s: float) -> "BatchingPolicy":
-        """Production dynamic batching: size cap plus wait-time cap."""
-        return cls(
-            name=f"dynamic-{max_batch}@{max_wait_s:.3g}s",
-            max_batch=max_batch,
-            max_wait_s=max_wait_s,
-        )
-
-    @classmethod
-    def fixed(cls, batch: int) -> "BatchingPolicy":
-        """Hold out for a full ``batch`` no matter how long it takes."""
-        return cls(name=f"fixed-{batch}", max_batch=batch, max_wait_s=math.inf)
 
 
 @dataclass(frozen=True)
@@ -208,27 +170,6 @@ class PipelineServiceModel:
 
 
 @dataclass(frozen=True)
-class BatchRecord:
-    """One dispatched batch of the simulated schedule.
-
-    Attributes:
-        index: dispatch order.
-        first_request: index of the batch's first request (requests are
-            batched in arrival order, so the batch covers
-            ``[first_request, first_request + size)``).
-        size: number of requests in the batch.
-        dispatch_s: when the scheduler released the batch to core 0.
-        completion_s: when the last core finished the batch.
-    """
-
-    index: int
-    first_request: int
-    size: int
-    dispatch_s: float
-    completion_s: float
-
-
-@dataclass(frozen=True)
 class ServingReport:
     """Everything measured over one simulated serving run.
 
@@ -261,7 +202,19 @@ class ServingReport:
         return self.completion_s - self.arrival_s
 
     def latency_percentile_s(self, percentile: float) -> float:
-        """A latency percentile (linear interpolation, deterministic)."""
+        """A latency percentile (linear interpolation, deterministic).
+
+        Raises:
+            ValueError: if the report covers no requests — a percentile
+                of an empty trace is undefined, and numpy's nan-and-
+                RuntimeWarning path would silently poison downstream
+                tables.
+        """
+        if self.arrival_s.size == 0:
+            raise ValueError(
+                f"{self.policy.name}: no requests in the trace — latency "
+                f"percentiles are undefined on an empty report"
+            )
         return float(np.percentile(self.latencies_s, percentile))
 
     @property
@@ -354,27 +307,6 @@ class ServingReport:
         )
 
 
-def validate_arrival_trace(arrival_s: np.ndarray) -> np.ndarray:
-    """Validate and normalize a request arrival trace.
-
-    Shared by every simulator front door (including the fault-injection
-    engine in :mod:`repro.core.faults`), so a bad trace fails with the
-    same message everywhere.
-
-    Raises:
-        ValueError: on an empty, non-1-D, or unsorted trace.
-    """
-    arrivals = np.asarray(arrival_s, dtype=float)
-    if arrivals.ndim != 1 or arrivals.size == 0:
-        raise ValueError(
-            f"need a non-empty 1-D arrival trace, got shape "
-            f"{arrivals.shape}"
-        )
-    if np.any(np.diff(arrivals) < 0.0):
-        raise ValueError("arrival times must be sorted ascending")
-    return arrivals
-
-
 def validate_replay_inputs(
     network: Network, report: ServingReport, inputs: np.ndarray
 ) -> np.ndarray:
@@ -396,44 +328,13 @@ def validate_replay_inputs(
     return inputs
 
 
-def plan_dispatch(
-    arrivals: np.ndarray,
-    head: int,
-    policy: BatchingPolicy,
-    core0_free_s: float,
-) -> tuple[float, int]:
-    """When does the queue head's batch dispatch, and how big is it?
-
-    The batch is sealed at the latest of: the head's arrival, core 0
-    freeing up, and the policy trigger (batch full or head's wait budget
-    exhausted).  This single function is the scheduler's entire batching
-    decision; the fault-aware simulator shares it verbatim, which is
-    what makes a zero-magnitude fault run *bit-identical* to the
-    fault-free simulator — both plan every dispatch with the exact same
-    float arithmetic.
-
-    Returns:
-        ``(dispatch_s, size)`` for the batch starting at ``head``.
-    """
-    earliest = max(arrivals[head], core0_free_s)
-    full_index = head + policy.max_batch - 1
-    fills_at = (
-        arrivals[full_index] if full_index < arrivals.size else math.inf
-    )
-    deadline = arrivals[head] + policy.max_wait_s
-    dispatch = max(earliest, min(deadline, fills_at))
-    if math.isinf(dispatch):
-        # Fixed-size tail: the batch can never fill and the head may
-        # wait forever, so flush everything left as one final partial
-        # batch once the last request has arrived.
-        dispatch = max(core0_free_s, arrivals[-1])
-    queued = int(np.searchsorted(arrivals, dispatch, side="right") - head)
-    size = max(1, min(policy.max_batch, queued))
-    return dispatch, size
-
-
 class ServingSimulator:
     """Discrete-event closed loop: queue -> batcher -> core pipeline.
+
+    A thin facade over the unified event-loop kernel
+    (:class:`~repro.core.simkernel.EventLoopKernel`) with no plugins
+    attached — the kernel extraction changed no numbers, so reports are
+    bit-identical to the pre-kernel simulator.
 
     Args:
         model: the per-core service-time model.
@@ -458,49 +359,15 @@ class ServingSimulator:
         Raises:
             ValueError: on an empty or unsorted trace.
         """
-        arrivals = validate_arrival_trace(arrival_s)
-
-        model = self.model
-        policy = self.policy
-        num_requests = arrivals.size
-        num_cores = model.num_cores
-        core_free = [0.0] * num_cores
-        core_busy = [0.0] * num_cores
-        dispatch_s = np.empty(num_requests)
-        completion_s = np.empty(num_requests)
-        batches: list[BatchRecord] = []
-
-        head = 0
-        while head < num_requests:
-            dispatch, size = plan_dispatch(arrivals, head, policy, core_free[0])
-
-            start = dispatch
-            for core in range(num_cores):
-                begun = max(start, core_free[core])
-                busy = model.core_busy_s(core, size)
-                start = begun + busy
-                core_free[core] = start
-                core_busy[core] += busy
-            batch = BatchRecord(
-                index=len(batches),
-                first_request=head,
-                size=size,
-                dispatch_s=dispatch,
-                completion_s=start,
-            )
-            batches.append(batch)
-            dispatch_s[head : head + size] = dispatch
-            completion_s[head : head + size] = start
-            head += size
-
+        run = EventLoopKernel(self.model, self.policy).run(arrival_s)
         return ServingReport(
-            policy=policy,
-            num_cores=num_cores,
-            arrival_s=arrivals,
-            dispatch_s=dispatch_s,
-            completion_s=completion_s,
-            batches=tuple(batches),
-            core_busy_s=tuple(core_busy),
+            policy=self.policy,
+            num_cores=run.initial_num_cores,
+            arrival_s=run.arrival_s,
+            dispatch_s=run.dispatch_s,
+            completion_s=run.completion_s,
+            batches=run.batches,
+            core_busy_s=run.core_busy_s,
         )
 
 
@@ -556,19 +423,59 @@ def replay_on_engine(
         ValueError: if ``inputs`` does not cover the report's requests.
     """
     inputs = validate_replay_inputs(network, report, inputs)
+    widths = [report.num_cores] * len(report.batches)
+    return replay_batches(network, report.batches, widths, inputs, config)
+
+
+def replay_batches(
+    network: Network,
+    batches: Sequence[BatchRecord],
+    num_cores: Sequence[int],
+    inputs: np.ndarray,
+    config: PCNNAConfig | None = None,
+) -> np.ndarray:
+    """Execute a sequence of simulated batches on the real engine.
+
+    The shared engine-replay core: each batch is dispatched as one
+    minibatch to :func:`~repro.core.serving.run_network_pipelined` at
+    the pipeline width *that batch* saw, and each request's output is
+    scattered back to its slot.  :func:`replay_on_engine` uses a
+    constant width; the cluster runtime's per-tenant replay
+    (:func:`~repro.core.cluster.replay_tenant_on_engine`) feeds the
+    per-batch widths left by elastic core reallocation.
+
+    Args:
+        network: the served network.
+        batches: the simulated batches, covering ``inputs`` contiguously.
+        num_cores: per-batch pipeline width (same length as ``batches``).
+        inputs: per-request inputs, shape ``(num_requests,
+            *network.input_shape)``.
+        config: hardware configuration for execution.
+
+    Returns:
+        Per-request outputs, shape ``(num_requests, *output_shape)``.
+
+    Raises:
+        ValueError: if ``num_cores`` does not cover every batch — a
+            silent zip truncation would leave uninitialized rows in
+            the output.
+    """
+    if len(num_cores) != len(batches):
+        raise ValueError(
+            f"need one pipeline width per batch, got {len(num_cores)} "
+            f"widths for {len(batches)} batches"
+        )
     outputs: np.ndarray | None = None
-    for batch in report.batches:
+    for batch, width in zip(batches, num_cores):
         stop = batch.first_request + batch.size
         result = run_network_pipelined(
             network,
             inputs[batch.first_request : stop],
-            report.num_cores,
+            int(width),
             config,
         )
         if outputs is None:
-            outputs = np.empty(
-                (report.num_requests, *result.outputs.shape[1:])
-            )
+            outputs = np.empty((inputs.shape[0], *result.outputs.shape[1:]))
         outputs[batch.first_request : stop] = result.outputs
-    assert outputs is not None  # the report always has >= 1 batch
+    assert outputs is not None  # a report always has >= 1 batch
     return outputs

@@ -9,6 +9,10 @@ from repro.workloads.googlenet import (
     googlenet_conv_specs,
     inception_module_specs,
 )
+from repro.workloads.cluster_mixes import (
+    CLUSTER_MIXES,
+    cluster_mix,
+)
 from repro.workloads.fault_scenarios import (
     FAULT_SCENARIOS,
     fault_scenario,
@@ -39,6 +43,8 @@ __all__ = [
     "alexnet_layer",
     "googlenet_conv_specs",
     "inception_module_specs",
+    "CLUSTER_MIXES",
+    "cluster_mix",
     "FAULT_SCENARIOS",
     "fault_scenario",
     "SERVING_NETWORKS",

@@ -24,6 +24,13 @@ on/off) the degraded simulator must never deadlock, must conserve
 requests, and must keep every latency, proxy, and downtime finite and
 causally ordered.
 
+PR 5 adds the multi-tenant cluster runtime; over random tenant mixes
+(tenant counts, weights, priorities, queue caps, routing, elastic
+reallocation) crossed with random pool-level fault schedules, every
+tenant must conserve its offered load (``served + shed = offered``),
+never leak requests across tenants, keep latencies finite and causal,
+and reproduce bit-identically under the same inputs.
+
 All randomness is drawn through seeded ``default_rng`` streams from
 hypothesis-chosen seeds, so failures shrink and replay deterministically.
 """
@@ -36,6 +43,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.core.cluster import (
+    ClusterSimulator,
+    ClusterTenant,
+    ElasticReallocation,
+    RoutingPolicy,
+)
 from repro.core.config import PCNNAConfig
 from repro.core.faults import (
     FAULT_KINDS,
@@ -59,7 +72,11 @@ from repro.nn.layers import (
 from repro.nn.network import Network
 from repro.nn.shapes import conv_output_side, pool_output_size
 from repro.photonics.noise import realistic
-from repro.workloads import alexnet_conv_specs, poisson_arrivals
+from repro.workloads import (
+    alexnet_conv_specs,
+    lenet5_conv_specs,
+    poisson_arrivals,
+)
 
 
 @st.composite
@@ -418,3 +435,143 @@ class TestFaultedServingInvariants:
         assert first.core_downtime_s == second.core_downtime_s
         assert first.recalibrations == second.recalibrations
         assert first.repartitions == second.repartitions
+
+
+_TENANT_SPECS = (alexnet_conv_specs, lenet5_conv_specs)
+
+
+@st.composite
+def cluster_tenant_case(draw, index: int):
+    """One random tenant: model, policy, weight, priority, queue cap."""
+    specs = tuple(draw(st.sampled_from(_TENANT_SPECS))())
+    policy = draw(
+        st.sampled_from(
+            [
+                BatchingPolicy.fifo(),
+                BatchingPolicy.dynamic(8, 1e-3),
+                BatchingPolicy.fixed(16),
+            ]
+        )
+    )
+    return ClusterTenant(
+        name=f"tenant-{index}",
+        specs=specs,
+        policy=policy,
+        weight=draw(st.floats(min_value=0.5, max_value=4.0)),
+        priority=draw(st.integers(min_value=0, max_value=2)),
+        queue_cap=draw(st.one_of(st.none(), st.integers(8, 64))),
+    )
+
+
+@st.composite
+def cluster_serving_case(draw):
+    """A random (tenant mix, pool, traces, faults) cluster problem."""
+    num_tenants = draw(st.integers(min_value=1, max_value=3))
+    tenants = [
+        draw(cluster_tenant_case(index)) for index in range(num_tenants)
+    ]
+    pool_size = draw(
+        st.integers(min_value=num_tenants, max_value=num_tenants + 3)
+    )
+    arrivals = {}
+    for position, tenant in enumerate(tenants):
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        count = draw(st.integers(min_value=5, max_value=80))
+        arrivals[tenant.name] = poisson_arrivals(
+            count / _FAULT_HORIZON_S, count, seed=seed
+        )
+    events = draw(
+        st.lists(fault_event_case(pool_size), min_size=0, max_size=4)
+    )
+    schedule = (
+        FaultSchedule(name="hypothesis", events=tuple(events))
+        if events
+        else None
+    )
+    routing = draw(
+        st.sampled_from([RoutingPolicy.weighted_fair(), RoutingPolicy.priority()])
+    )
+    elastic = draw(
+        st.sampled_from([None, ElasticReallocation(min_queue=8)])
+    )
+    recalibration = draw(st.sampled_from([None, RecalibrationPolicy()]))
+    return tenants, pool_size, arrivals, schedule, routing, elastic, recalibration
+
+
+class TestClusterServingInvariants:
+    """Whatever the mix and faults, every tenant conserves and finishes."""
+
+    @given(case=cluster_serving_case())
+    @settings(max_examples=10, deadline=None)
+    def test_conservation_isolation_and_finiteness(self, case):
+        tenants, pool, arrivals, schedule, routing, elastic, recal = case
+        report = ClusterSimulator(
+            tenants,
+            pool,
+            routing=routing,
+            elastic=elastic,
+            schedule=schedule,
+            recalibration=recal,
+        ).run(arrivals)
+
+        for tenant in tenants:
+            sub = report.tenant(tenant.name)
+            offered = arrivals[tenant.name]
+            # Conservation: served + shed = offered, each exactly once.
+            assert sub.num_requests + sub.num_shed == offered.size
+            assert sum(batch.size for batch in sub.batches) == sub.num_requests
+            cursor = 0
+            for batch in sub.batches:
+                assert batch.first_request == cursor
+                cursor += batch.size
+            # No cross-tenant leakage: every served and shed arrival is
+            # the tenant's own, and together they partition its trace.
+            merged = np.sort(
+                np.concatenate([sub.arrival_s, sub.shed_arrival_s])
+            )
+            assert np.array_equal(merged, offered)
+            # Causality and finiteness.
+            assert np.all(np.isfinite(sub.completion_s))
+            assert np.all(sub.dispatch_s >= sub.arrival_s)
+            assert np.all(sub.completion_s > sub.dispatch_s)
+            assert np.all(sub.latencies_s > 0.0)
+            assert np.isfinite(sub.p99_s)
+            # Width and proxy bookkeeping stays per-batch.
+            assert len(sub.batch_num_cores) == len(sub.batches)
+            assert np.all(sub.batch_num_cores >= 1)
+            assert np.all(sub.batch_num_cores <= pool)
+            assert np.all(np.isfinite(sub.accuracy_proxy))
+            if schedule is None:
+                assert np.all(sub.accuracy_proxy == 0.0)
+        # Pool-level accounting.
+        assert report.num_served + report.num_shed == report.num_offered
+        assert all(
+            0.0 <= downtime < math.inf for downtime in report.core_downtime_s
+        )
+        if recal is None or schedule is None:
+            assert report.recalibrations == ()
+
+    @given(case=cluster_serving_case())
+    @settings(max_examples=5, deadline=None)
+    def test_deterministic_under_identical_inputs(self, case):
+        tenants, pool, arrivals, schedule, routing, elastic, recal = case
+
+        def run():
+            return ClusterSimulator(
+                tenants,
+                pool,
+                routing=routing,
+                elastic=elastic,
+                schedule=schedule,
+                recalibration=recal,
+            ).run(arrivals)
+
+        first, second = run(), run()
+        assert first.reallocations == second.reallocations
+        assert first.recalibrations == second.recalibrations
+        for tenant in tenants:
+            a, b = first.tenant(tenant.name), second.tenant(tenant.name)
+            assert np.array_equal(a.completion_s, b.completion_s)
+            assert np.array_equal(a.shed_arrival_s, b.shed_arrival_s)
+            assert np.array_equal(a.accuracy_proxy, b.accuracy_proxy)
+            assert a.batches == b.batches

@@ -14,6 +14,7 @@ from repro.core.traffic import (
     BatchingPolicy,
     PipelineServiceModel,
     ServingSimulator,
+    replay_batches,
     replay_on_engine,
     simulate_serving,
 )
@@ -232,7 +233,7 @@ class TestServingSimulator:
 
     def test_rejects_bad_traces(self):
         simulator = ServingSimulator(self._model(), BatchingPolicy.fifo())
-        with pytest.raises(ValueError, match="non-empty"):
+        with pytest.raises(ValueError, match="empty"):
             simulator.run(np.array([]))
         with pytest.raises(ValueError, match="sorted"):
             simulator.run(np.array([2.0, 1.0]))
@@ -269,6 +270,20 @@ class TestExecutedReplay:
             replay_on_engine(
                 network, report, np.zeros((3, *network.input_shape))
             )
+
+    def test_replay_batches_rejects_mismatched_widths(self):
+        """A widths list shorter than the batches would zip-truncate
+        and return uninitialized output rows — must fail loudly."""
+        network = serving_network("lenet5")
+        report = simulate_serving(
+            network,
+            poisson_arrivals(1e4, 4, seed=0),
+            BatchingPolicy.fifo(),
+            num_cores=1,
+        )
+        inputs = serving_batch(network, 4, seed=1)
+        with pytest.raises(ValueError, match="width per batch"):
+            replay_batches(network, report.batches, [1], inputs)
 
 
 class TestServingSweep:
