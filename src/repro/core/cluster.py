@@ -56,8 +56,10 @@ from repro.core.faults import (
     RecalibrationRecord,
 )
 from repro.core.simkernel import (
+    KERNEL_MODES,
     BatchingPolicy,
     DispatchContext,
+    EventLoopKernel,
     execute_dispatch,
     plan_dispatch,
     validate_arrival_trace,
@@ -691,6 +693,17 @@ class ClusterSimulator:
         config: hardware configuration for partitioning and service
             times.
         probe_rings: rings in each pool core's accuracy-probe bank.
+        mode: kernel execution mode.  ``"auto"`` (the default) runs the
+            vectorized kernel whenever the cluster is a single tenant
+            with no faults, no elastic reallocation, and no admission
+            cap — the only shape with no cross-tenant feedback — and
+            the global event loop otherwise.  ``"vectorized"`` demands
+            that shape (``run`` raises otherwise); ``"reference"``
+            always runs the global loop.  Both paths are bit-identical.
+
+    Raises:
+        ValueError: on an empty or duplicated tenant set, a bad pool
+            size, or an unknown ``mode``.
     """
 
     def __init__(
@@ -703,12 +716,17 @@ class ClusterSimulator:
         recalibration: RecalibrationPolicy | None = None,
         config: PCNNAConfig | None = None,
         probe_rings: int = 8,
+        mode: str = "auto",
     ) -> None:
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [tenant.name for tenant in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names!r}")
+        if mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
+            )
         self.tenants = tuple(tenants)
         self.pool_size = pool_size
         self.routing = routing if routing is not None else RoutingPolicy()
@@ -717,8 +735,24 @@ class ClusterSimulator:
         self.recalibration = recalibration
         self.config = config
         self.probe_rings = probe_rings
+        self.mode = mode
         self._allocations, self._free = allocate_pool(
             tenants, pool_size, self.routing
+        )
+
+    @property
+    def _vectorizable(self) -> bool:
+        """Whether the run has no cross-tenant or plugin feedback.
+
+        A single fault-free tenant with a frozen allocation and no
+        admission cap plans exactly like the plain simulator, so the
+        whole run collapses to one pluginless kernel invocation.
+        """
+        return (
+            len(self.tenants) == 1
+            and self.schedule is None
+            and self.elastic is None
+            and self.tenants[0].queue_cap is None
         )
 
     def _tie_key(self, lane: _TenantLane) -> tuple:
@@ -817,6 +851,14 @@ class ClusterSimulator:
                 f"need one arrival trace per tenant {sorted(names)}, got "
                 f"{sorted(arrival_s)}"
             )
+        if self.mode == "vectorized" and not self._vectorizable:
+            raise ValueError(
+                "vectorized mode needs a single tenant with no faults, "
+                "no elastic reallocation, and no queue cap — those runs "
+                "have mid-loop feedback; use mode='reference' (or 'auto')"
+            )
+        if self.mode != "reference" and self._vectorizable:
+            return self._run_vectorized(arrival_s)
         lanes = [
             _TenantLane(
                 index,
@@ -893,6 +935,57 @@ class ClusterSimulator:
             recalibrations=tuple(recalibrations),
         )
 
+    def _run_vectorized(
+        self, arrival_s: Mapping[str, np.ndarray]
+    ) -> ClusterReport:
+        """Serve a feedback-free single-tenant cluster on the fast path.
+
+        One pluginless vectorized kernel run, re-badged as a cluster
+        report: busy time lands on the tenant's *physical* pool cores
+        and the per-batch width/proxy columns are constant — exactly
+        what the global loop records for this shape, bit for bit.
+        """
+        tenant = self.tenants[0]
+        trace = validate_arrival_trace(arrival_s[tenant.name])
+        phys = self._allocations[0]
+        model = PipelineServiceModel.from_specs(
+            list(tenant.specs), len(phys), self.config
+        )
+        run = EventLoopKernel(model, tenant.policy, mode="vectorized").run(
+            trace
+        )
+        pool_busy = [0.0] * self.pool_size
+        for stage, core in enumerate(phys):
+            pool_busy[core] = run.core_busy_s[stage]
+        num_batches = len(run.batches)
+        report = TenantServingReport(
+            policy=tenant.policy,
+            num_cores=len(phys),
+            arrival_s=trace.copy(),
+            dispatch_s=run.dispatch_s,
+            completion_s=run.completion_s,
+            batches=run.batches,
+            core_busy_s=tuple(pool_busy),
+            tenant=tenant.name,
+            offered_arrival_s=trace,
+            shed_arrival_s=np.array([]),
+            batch_num_cores=np.full(num_batches, len(phys), dtype=int),
+            accuracy_proxy=np.zeros(num_batches),
+        )
+        return ClusterReport(
+            pool_size=self.pool_size,
+            routing=self.routing.kind,
+            tenants=(report,),
+            reallocations=(),
+            schedule_name=None,
+            recalibration_name=(
+                None if self.recalibration is None else self.recalibration.name
+            ),
+            core_downtime_s=(0.0,) * self.pool_size,
+            final_core_errors=(0.0,) * self.pool_size,
+            recalibrations=(),
+        )
+
     def _degrade(
         self,
         lane: _TenantLane,
@@ -938,6 +1031,7 @@ def simulate_cluster_serving(
     schedule: FaultSchedule | None = None,
     recalibration: RecalibrationPolicy | None = None,
     config: PCNNAConfig | None = None,
+    mode: str = "auto",
 ) -> ClusterReport:
     """One-call multi-tenant cluster simulation.
 
@@ -946,7 +1040,7 @@ def simulate_cluster_serving(
     :class:`ClusterSimulator` and serves every tenant's trace.
 
     Raises:
-        ValueError: on an invalid tenant set, pool size, or trace.
+        ValueError: on an invalid tenant set, pool size, mode, or trace.
     """
     simulator = ClusterSimulator(
         tenants,
@@ -956,6 +1050,7 @@ def simulate_cluster_serving(
         schedule=schedule,
         recalibration=recalibration,
         config=config,
+        mode=mode,
     )
     return simulator.run(arrival_s)
 

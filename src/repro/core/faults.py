@@ -838,6 +838,12 @@ class DegradedServingSimulator:
         fail_error_threshold: weight error beyond which a core is
             declared failed and drained out of the pipeline.
         probe_rings: rings in each core's accuracy-probe bank.
+        mode: kernel execution mode.  A fault run always carries the
+            :class:`FaultPlugin`, so ``"auto"`` resolves to the
+            reference event loop; ``"vectorized"`` is rejected by the
+            kernel (plugins mutate the pipeline mid-run).  The argument
+            exists so callers can spell the mode explicitly and get the
+            same error surface everywhere.
     """
 
     def __init__(
@@ -850,9 +856,11 @@ class DegradedServingSimulator:
         config: PCNNAConfig | None = None,
         fail_error_threshold: float = 0.5,
         probe_rings: int = 8,
+        mode: str = "auto",
     ) -> None:
         self.model = model
         self.policy = policy
+        self.mode = mode
         self.schedule = schedule
         self.recalibration = recalibration
         self.specs = specs
@@ -880,9 +888,9 @@ class DegradedServingSimulator:
             ValueError: on an empty or unsorted trace.
         """
         plugin = self._make_plugin()
-        run = EventLoopKernel(self.model, self.policy, (plugin,)).run(
-            arrival_s
-        )
+        run = EventLoopKernel(
+            self.model, self.policy, (plugin,), mode=self.mode
+        ).run(arrival_s)
         return DegradedServingReport(
             policy=self.policy,
             num_cores=run.initial_num_cores,
@@ -916,6 +924,7 @@ def simulate_degraded_serving(
     clamp_cores: bool = False,
     repartition: bool = True,
     fail_error_threshold: float = 0.5,
+    mode: str = "auto",
 ) -> DegradedServingReport:
     """One-call degraded serving simulation for an executable network.
 
@@ -935,6 +944,7 @@ def simulate_degraded_serving(
         specs=specs if repartition else None,
         config=config,
         fail_error_threshold=fail_error_threshold,
+        mode=mode,
     )
     return simulator.run(arrival_s)
 

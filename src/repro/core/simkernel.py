@@ -36,9 +36,25 @@ them; :mod:`repro.core.traffic` re-exports the full historical API.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
+
+KERNEL_MODES: tuple[str, ...] = ("auto", "vectorized", "reference")
+"""Execution modes accepted by :class:`EventLoopKernel`.
+
+``"reference"`` is the original per-event Python loop — one
+:func:`plan_dispatch` / :func:`execute_dispatch` call per batch.
+``"vectorized"`` plans whole batch boundaries and completion clocks as
+numpy array ops; it refuses plugins (plugins mutate the pipeline
+mid-run, which has no array form).  ``"auto"`` — the default — picks
+vectorized when no plugins are attached and reference otherwise.  The
+two modes are *bit-identical*: every float the vectorized path emits is
+produced by the same sequence of IEEE-754 operations the reference loop
+performs (see ``docs/architecture.md``, "Vectorized kernel & reference
+mode").
+"""
 
 
 @dataclass(frozen=True)
@@ -135,6 +151,97 @@ class BatchRecord:
     completion_s: float
 
 
+class BatchTable(Sequence):
+    """A sequence of :class:`BatchRecord` backed by four parallel arrays.
+
+    The vectorized kernel plans millions of batches as whole arrays;
+    materializing a frozen dataclass per batch would cost more than the
+    simulation itself.  This table stores the columns and synthesizes
+    records on demand, so ``report.batches[i]``, iteration, ``len``, and
+    equality against a tuple of :class:`BatchRecord` all behave exactly
+    like the reference mode's tuple.
+
+    Attributes:
+        first_request: per-batch index of the first request.
+        size: per-batch request count.
+        dispatch_s: per-batch dispatch time.
+        completion_s: per-batch completion time.
+    """
+
+    __slots__ = (
+        "first_request",
+        "size",
+        "dispatch_s",
+        "completion_s",
+        "_records",
+    )
+
+    def __init__(
+        self,
+        first_request: np.ndarray,
+        size: np.ndarray,
+        dispatch_s: np.ndarray,
+        completion_s: np.ndarray,
+    ) -> None:
+        self.first_request = np.asarray(first_request, dtype=np.int64)
+        self.size = np.asarray(size, dtype=np.int64)
+        self.dispatch_s = np.asarray(dispatch_s, dtype=float)
+        self.completion_s = np.asarray(completion_s, dtype=float)
+        self._records: tuple[BatchRecord, ...] | None = None
+
+    def _make(self, i: int) -> BatchRecord:
+        return BatchRecord(
+            index=i,
+            first_request=int(self.first_request[i]),
+            size=int(self.size[i]),
+            dispatch_s=float(self.dispatch_s[i]),
+            completion_s=float(self.completion_s[i]),
+        )
+
+    def __len__(self) -> int:
+        return int(self.first_request.size)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return tuple(
+                self._make(j) for j in range(*i.indices(len(self)))
+            )
+        n = len(self)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"batch index {i!r} out of range for {n}")
+        return self._make(i)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self._make(i)
+
+    @property
+    def records(self) -> tuple[BatchRecord, ...]:
+        """The table as a plain tuple of records (cached)."""
+        if self._records is None:
+            self._records = tuple(self)
+        return self._records
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BatchTable):
+            return (
+                np.array_equal(self.first_request, other.first_request)
+                and np.array_equal(self.size, other.size)
+                and np.array_equal(self.dispatch_s, other.dispatch_s)
+                and np.array_equal(self.completion_s, other.completion_s)
+            )
+        if isinstance(other, Sequence):
+            return self.records == tuple(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable arrays inside
+
+    def __repr__(self) -> str:
+        return f"BatchTable(num_batches={len(self)})"
+
+
 def validate_arrival_trace(arrival_s: np.ndarray) -> np.ndarray:
     """Validate and normalize a request arrival trace.
 
@@ -177,6 +284,15 @@ def plan_dispatch(
     which is what makes a zero-magnitude fault run — and a single-tenant
     cluster run — *bit-identical* to the plain simulator: all of them
     plan every dispatch with the exact same float arithmetic.
+
+    Tie order is part of the contract: requests sharing an exact arrival
+    timestamp are batched in **trace index order** (the order they
+    appear in ``arrivals``).  ``searchsorted(..., side="right")`` counts
+    every tied arrival as queued, so a batch never splits a tie group
+    unless ``max_batch`` forces it — and then it takes the lowest trace
+    indices first.  The vectorized planner relies on the trace being
+    pre-sorted (it never re-sorts), so both modes see the identical
+    stable order; ``tests/test_vectorized_kernel.py`` pins this.
 
     Returns:
         ``(dispatch_s, size)`` for the batch starting at ``head``.
@@ -306,6 +422,260 @@ def execute_dispatch(
     return batch
 
 
+# -- vectorized planning & execution --------------------------------------
+#
+# The vectorized mode replays the reference loop's float arithmetic as
+# array ops.  The one non-trivial piece is the max-plus recurrences
+# (pipeline hand-off and core-0 back-pressure): float addition is not
+# associative, so a closed-form `cumsum` would drift from the scalar
+# fold by ulps.  Each scan therefore (1) *speculates* the recurrence's
+# reset points from an approximate closed form, (2) folds each segment
+# with `np.cumsum` — which numpy evaluates as the exact left-to-right
+# fold the scalar loop performs — and (3) verifies the result
+# elementwise against the recurrence, repairing any mis-speculated
+# stretch with the scalar fold itself.  The verify step makes the output
+# exact regardless of speculation quality: a value sequence that
+# satisfies the recurrence at every index is, by induction, *the* fold.
+
+# Congested full-batch probe bounds for the dynamic planner: probes
+# start narrow and double while the saturated chain holds.
+_STREAK_MIN = 16
+_STREAK_MAX = 8192
+
+
+def _segmented_fold(y: np.ndarray, d: np.ndarray, starts: np.ndarray) -> None:
+    """Fold ``y[k] = y[k-1] + d[k]`` within each segment, in place.
+
+    ``y[starts]`` already holds each segment's reset value.  Length-1
+    and length-2 segments are handled as array ops; longer segments use
+    a per-segment ``np.cumsum`` (an exact left fold).
+    """
+    n = y.size
+    bounds = np.append(starts, n)
+    lens = np.diff(bounds)
+    two = starts[lens == 2]
+    if two.size:
+        y[two + 1] = y[two] + d[two + 1]
+    for s, length in zip(starts[lens > 2].tolist(), lens[lens > 2].tolist()):
+        seg = np.empty(length)
+        seg[0] = y[s]
+        seg[1:] = d[s + 1 : s + length]
+        y[s : s + length] = np.cumsum(seg)
+
+
+def _maxplus_scan(e: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Exact fold of ``y[k] = max(e[k], y[k-1]) + d[k]``, ``y[0] = e[0]+d[0]``.
+
+    This is the pipeline hand-off recurrence: a batch starts on stage
+    ``s`` at the later of its arrival from stage ``s-1`` (``e``) and the
+    stage freeing up (``y[k-1]``), then holds it for ``d[k]``.  The
+    result is bit-identical to the scalar loop.
+    """
+    n = e.size
+    y = np.empty(n)
+    if n == 0:
+        return y
+    # Speculate reset points (where e[k] >= y[k-1]) from the approximate
+    # closed form y[k] ~ P[k] + max_j (e[j] - P[j-1]) with P = cumsum(d).
+    anchor = e - np.cumsum(d) + d
+    resets = anchor >= np.maximum.accumulate(anchor)
+    resets[0] = True
+    starts = np.flatnonzero(resets)
+    y[starts] = e[starts] + d[starts]
+    _segmented_fold(y, d, starts)
+    # Verify elementwise; repair mis-speculated stretches scalar.
+    prev = np.empty(n)
+    prev[0] = -math.inf
+    prev[1:] = y[:-1]
+    bad = np.flatnonzero(y != np.maximum(e, prev) + d)
+    while bad.size:
+        k = int(bad[0])
+        while k < n:
+            cur = (
+                e[0] + d[0]
+                if k == 0
+                else max(float(e[k]), float(y[k - 1])) + float(d[k])
+            )
+            if cur == y[k]:
+                break  # downstream already consistent with this value
+            y[k] = cur
+            k += 1
+        bad = bad[bad > k]
+    return y
+
+
+def _maxplus_scan_const(e: np.ndarray, d: float, y0: float) -> np.ndarray:
+    """Exact fold of ``y[k] = max(e[k], y[k-1] + d)`` with ``y[0] = y0``.
+
+    This is the core-0 back-pressure recurrence of the fifo and
+    fixed-size planners: dispatch at the later of the policy trigger
+    (``e``) and core 0 freeing up ``d`` after the previous dispatch.
+    ``y0`` is the caller-computed first dispatch (its reference
+    arithmetic differs — it compares against the initial free time 0.0,
+    not against a previous dispatch).
+    """
+    n = e.size
+    y = np.empty(n)
+    if n == 0:
+        return y
+    anchor = e - np.cumsum(np.full(n, d)) + d
+    resets = anchor >= np.maximum.accumulate(anchor)
+    resets[0] = True
+    starts = np.flatnonzero(resets)
+    y[starts] = e[starts]
+    y[0] = y0
+    _segmented_fold(y, np.full(n, d), starts)
+    bad = np.flatnonzero(y[1:] != np.maximum(e[1:], y[:-1] + d)) + 1
+    if y[0] != y0:
+        bad = np.append(0, bad)
+    while bad.size:
+        k = int(bad[0])
+        while k < n:
+            cur = y0 if k == 0 else max(float(e[k]), float(y[k - 1]) + d)
+            if cur == y[k]:
+                break
+            y[k] = cur
+            k += 1
+        bad = bad[bad > k]
+    return y
+
+
+def _plan_batches_fifo(
+    arrivals: np.ndarray, busy0: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch boundaries for any ``max_batch == 1`` policy.
+
+    Every request dispatches alone at ``max(arrival, core-0 free)``.
+    """
+    n = arrivals.size
+    heads = np.arange(n, dtype=np.int64)
+    sizes = np.ones(n, dtype=np.int64)
+    b1 = float(busy0[1])
+    y0 = max(float(arrivals[0]), 0.0)
+    disp = _maxplus_scan_const(arrivals, b1, y0)
+    return heads, sizes, disp
+
+
+def _plan_batches_fixed(
+    arrivals: np.ndarray, max_batch: int, busy0: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch boundaries for ``max_wait_s == inf`` (fixed-size) policies.
+
+    Every batch is exactly ``max_batch`` wide — it dispatches at the
+    later of its fill time and core 0 freeing up, so all of its
+    requests have always arrived — except a final partial flush batch.
+    """
+    n = arrivals.size
+    m = max_batch
+    num_full = n // m
+    tail = n - num_full * m
+    num_batches = num_full + (1 if tail else 0)
+    heads = np.arange(num_batches, dtype=np.int64) * m
+    sizes = np.full(num_batches, m, dtype=np.int64)
+    disp = np.empty(num_batches)
+    bm = float(busy0[m])
+    if num_full:
+        fills = arrivals[m - 1 : num_full * m : m]
+        y0 = max(max(float(arrivals[0]), 0.0), float(fills[0]))
+        disp[:num_full] = _maxplus_scan_const(fills, bm, y0)
+    if tail:
+        sizes[-1] = tail
+        free = disp[num_full - 1] + bm if num_full else 0.0
+        disp[-1] = max(float(free), float(arrivals[-1]))
+    return heads, sizes, disp
+
+
+def _plan_batches_dynamic(
+    arrivals: np.ndarray, policy: BatchingPolicy, busy0: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch boundaries for finite-wait, ``max_batch >= 2`` policies.
+
+    Dynamic batching has genuine feedback — congestion grows batch
+    sizes, which changes core-0 free times, which changes congestion —
+    so there is no closed form.  Instead: precompute each head's policy
+    trigger time and uncongested batch size as arrays, then walk the
+    trace with two accelerated regimes.  While core 0 keeps up
+    (``free <= trigger``), every step is a precomputed table lookup.
+    While core 0 is the bottleneck *and* batches are full, dispatches
+    are a pure ``free += busy`` chain — folded in vectorized streaks of
+    up to ``_STREAK_MAX`` batches via ``cumsum`` (the exact left fold).
+    """
+    n = arrivals.size
+    m = policy.max_batch
+    # trigger[h]: when head h's batch seals absent back-pressure —
+    # min(deadline, fill time), never below the head's own arrival.
+    fills = np.full(n, math.inf)
+    fillable = max(0, n - (m - 1))
+    fills[:fillable] = arrivals[m - 1 :]
+    trigger = np.minimum(arrivals + policy.max_wait_s, fills)
+    arrived = np.searchsorted(arrivals, trigger, side="right")
+    idx = np.arange(n, dtype=np.int64)
+    size_u = np.clip(arrived - idx, 1, m)
+    free_u = trigger + busy0[size_u]
+    next_u = idx + size_u
+    bm = float(busy0[m])
+
+    heads = np.empty(n, dtype=np.int64)
+    sizes = np.empty(n, dtype=np.int64)
+    disp = np.empty(n)
+    nb = 0
+    h = 0
+    free = 0.0
+    # Streak probes are speculative: start narrow and double while the
+    # chain stays saturated, so a workload that alternates congested
+    # and uncongested batches never pays for a wide failed probe.
+    probe = _STREAK_MIN
+    while h < n:
+        trig = float(trigger[h])
+        if free <= trig:
+            # Uncongested: dispatch at the policy trigger.
+            heads[nb] = h
+            sizes[nb] = size_u[h]
+            disp[nb] = trig
+            free = float(free_u[h])
+            h = int(next_u[h])
+            nb += 1
+            continue
+        # Congested: core 0 is late, so dispatch the moment it frees.
+        queued = int(arrivals.searchsorted(free, side="right")) - h
+        size = m if queued >= m else queued
+        heads[nb] = h
+        sizes[nb] = size
+        disp[nb] = free
+        free = free + float(busy0[size])
+        h += size
+        nb += 1
+        if size < m:
+            continue
+        # Saturated: chase the congested full-batch chain in streaks.
+        while True:
+            span = min(probe, (n - h) // m)
+            if span <= 0:
+                break
+            fv = np.cumsum(np.concatenate(([free], np.full(span - 1, bm))))
+            hv = h + m * np.arange(span, dtype=np.int64)
+            counts = np.searchsorted(arrivals, fv, side="right")
+            valid = (fv >= trigger[hv]) & (counts - hv >= m)
+            take = span if valid.all() else int(valid.argmin())
+            if take < span:
+                probe = _STREAK_MIN
+            elif probe < _STREAK_MAX:
+                probe *= 2
+            if take == 0:
+                break
+            heads[nb : nb + take] = hv[:take]
+            sizes[nb : nb + take] = m
+            disp[nb : nb + take] = fv[:take]
+            nb += take
+            h += take * m
+            # fv is the exact fold, so continuing from it keeps the
+            # free-time chain bit-identical to `free += bm` steps.
+            free = float(fv[take]) if take < span else float(fv[-1]) + bm
+            if take < span:
+                break
+    return heads[:nb], sizes[:nb], disp[:nb]
+
+
 class KernelPlugin:
     """Hook points a serving scenario can attach to the event loop.
 
@@ -350,7 +720,9 @@ class KernelRun:
         arrival_s: the served arrival trace.
         dispatch_s: per-request batch-dispatch times.
         completion_s: per-request completion times.
-        batches: the dispatched batches, in order.
+        batches: the dispatched batches, in order — a plain tuple from
+            the reference loop, a :class:`BatchTable` from the
+            vectorized path (same records either way).
         core_busy_s: per-physical-core total busy time.
         initial_num_cores: pipeline width at the start of the run.
     """
@@ -358,9 +730,30 @@ class KernelRun:
     arrival_s: np.ndarray
     dispatch_s: np.ndarray
     completion_s: np.ndarray
-    batches: tuple[BatchRecord, ...]
+    batches: Sequence[BatchRecord]
     core_busy_s: tuple[float, ...]
     initial_num_cores: int
+
+
+def plan_batches(
+    arrivals: np.ndarray, policy: BatchingPolicy, model
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Plan every batch of a pluginless run as arrays.
+
+    Routes on the policy's *attributes*, not its name: ``max_batch == 1``
+    is the fifo recipe whatever the wait budget (a solo head never waits
+    for batch-mates), an infinite wait budget is the fixed-size recipe,
+    and everything else is dynamic batching.  Returns per-batch
+    ``(first_request, size, dispatch_s)`` arrays, bit-identical to the
+    reference loop's :func:`plan_dispatch` sequence.
+    """
+    m = policy.max_batch
+    busy0 = model.weight_load_s[0] + np.arange(m + 1) * model.conv_time_s[0]
+    if m == 1:
+        return _plan_batches_fifo(arrivals, busy0)
+    if math.isinf(policy.max_wait_s):
+        return _plan_batches_fixed(arrivals, m, busy0)
+    return _plan_batches_dynamic(arrivals, policy, busy0)
 
 
 class EventLoopKernel:
@@ -371,6 +764,14 @@ class EventLoopKernel:
             (:class:`~repro.core.traffic.PipelineServiceModel`).
         policy: the batching policy.
         plugins: scenario hooks, run in order at each hook point.
+        mode: one of :data:`KERNEL_MODES`.  ``"auto"`` (the default)
+            runs vectorized when no plugins are attached and falls back
+            to the reference event loop otherwise; the explicit modes
+            force one path (``"vectorized"`` with plugins is an error).
+
+    Raises:
+        ValueError: on an unknown mode, or ``mode="vectorized"`` with
+            plugins attached.
     """
 
     def __init__(
@@ -378,10 +779,21 @@ class EventLoopKernel:
         model,
         policy: BatchingPolicy,
         plugins: tuple[KernelPlugin, ...] = (),
+        mode: str = "auto",
     ) -> None:
+        if mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
+            )
+        if mode == "vectorized" and plugins:
+            raise ValueError(
+                "vectorized mode cannot host plugins — they mutate the "
+                "pipeline mid-run; use mode='reference' (or 'auto')"
+            )
         self.model = model
         self.policy = policy
         self.plugins = tuple(plugins)
+        self.mode = mode
 
     def run(self, arrival_s: np.ndarray) -> KernelRun:
         """Serve a trace of arrival times to completion.
@@ -390,6 +802,43 @@ class EventLoopKernel:
             ValueError: on an empty or unsorted trace.
         """
         arrivals = validate_arrival_trace(arrival_s)
+        if self.mode == "vectorized" or (
+            self.mode == "auto" and not self.plugins
+        ):
+            return self._run_vectorized(arrivals)
+        return self._run_reference(arrivals)
+
+    def _run_vectorized(self, arrivals: np.ndarray) -> KernelRun:
+        """The array-op hot path: plan all batches, then book them.
+
+        Stage 0 starts every batch at its dispatch time (the planner
+        guarantees dispatch >= core-0 free), so its completions are a
+        single elementwise add; each later stage is one exact max-plus
+        scan over the batch stream.
+        """
+        model = self.model
+        heads, sizes, disp = plan_batches(arrivals, self.policy, model)
+        busy = model.weight_load_s[0] + sizes * model.conv_time_s[0]
+        completion = disp + busy
+        core_busy = [float(np.cumsum(busy)[-1])]
+        for stage in range(1, model.num_cores):
+            busy = (
+                model.weight_load_s[stage]
+                + sizes * model.conv_time_s[stage]
+            )
+            completion = _maxplus_scan(completion, busy)
+            core_busy.append(float(np.cumsum(busy)[-1]))
+        return KernelRun(
+            arrival_s=arrivals,
+            dispatch_s=np.repeat(disp, sizes),
+            completion_s=np.repeat(completion, sizes),
+            batches=BatchTable(heads, sizes, disp, completion),
+            core_busy_s=tuple(core_busy),
+            initial_num_cores=model.num_cores,
+        )
+
+    def _run_reference(self, arrivals: np.ndarray) -> KernelRun:
+        """The original per-event loop (and the only plugin host)."""
         ctx = DispatchContext(self.model, self.policy, arrivals)
         plugins = self.plugins
         num_requests = arrivals.size
@@ -406,8 +855,8 @@ class EventLoopKernel:
                 for plugin in plugins:
                     plugin.on_batch_complete(ctx, batch)
         else:
-            # Hot path: the plain simulator and every zero-plugin run.
-            # Identical arithmetic, no per-batch hook dispatch.
+            # Zero-plugin reference run: identical arithmetic to the
+            # vectorized path, no per-batch hook dispatch.
             while ctx.head < num_requests:
                 dispatch, size = plan_dispatch(
                     arrivals, ctx.head, ctx.policy, ctx.core_free[0]
@@ -426,13 +875,16 @@ class EventLoopKernel:
 
 
 __all__ = [
+    "KERNEL_MODES",
     "BatchingPolicy",
     "BatchRecord",
+    "BatchTable",
     "DispatchContext",
     "EventLoopKernel",
     "KernelPlugin",
     "KernelRun",
     "execute_dispatch",
+    "plan_batches",
     "plan_dispatch",
     "validate_arrival_trace",
 ]

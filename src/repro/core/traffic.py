@@ -60,8 +60,10 @@ from repro.core.multicore import (
 )
 from repro.core.serving import run_network_pipelined
 from repro.core.simkernel import (
+    KERNEL_MODES,
     BatchingPolicy,
     BatchRecord,
+    BatchTable,
     EventLoopKernel,
     plan_dispatch,
     validate_arrival_trace,
@@ -179,7 +181,10 @@ class ServingReport:
         arrival_s: per-request arrival times (the input trace).
         dispatch_s: per-request batch-dispatch times.
         completion_s: per-request completion times.
-        batches: the dispatched batches, in order.
+        batches: the dispatched batches, in order — a plain tuple from
+            the reference kernel, a
+            :class:`~repro.core.simkernel.BatchTable` from the
+            vectorized kernel (same records either way).
         core_busy_s: per-core total busy time.
     """
 
@@ -188,7 +193,7 @@ class ServingReport:
     arrival_s: np.ndarray
     dispatch_s: np.ndarray
     completion_s: np.ndarray
-    batches: tuple[BatchRecord, ...]
+    batches: Sequence[BatchRecord]
     core_busy_s: tuple[float, ...]
 
     @property
@@ -261,14 +266,15 @@ class ServingReport:
         ties (a request arriving exactly at a dispatch instant is
         eligible for that batch).  Cached: every depth metric reads it.
         """
-        times = np.concatenate(
-            [self.arrival_s, [batch.dispatch_s for batch in self.batches]]
-        )
+        if isinstance(self.batches, BatchTable):
+            batch_dispatch = self.batches.dispatch_s
+            batch_size = self.batches.size.astype(float)
+        else:
+            batch_dispatch = [batch.dispatch_s for batch in self.batches]
+            batch_size = [float(batch.size) for batch in self.batches]
+        times = np.concatenate([self.arrival_s, batch_dispatch])
         deltas = np.concatenate(
-            [
-                np.ones(self.num_requests),
-                [-float(batch.size) for batch in self.batches],
-            ]
+            [np.ones(self.num_requests), np.negative(batch_size)]
         )
         order = np.argsort(times, kind="stable")
         return times[order], np.cumsum(deltas[order])
@@ -339,13 +345,26 @@ class ServingSimulator:
     Args:
         model: the per-core service-time model.
         policy: the batching policy.
+        mode: kernel execution mode, one of
+            :data:`~repro.core.simkernel.KERNEL_MODES`.  The default
+            ``"auto"`` resolves to the vectorized hot path (no plugins
+            here); ``"reference"`` forces the per-event loop.  Both are
+            bit-identical.
     """
 
     def __init__(
-        self, model: PipelineServiceModel, policy: BatchingPolicy
+        self,
+        model: PipelineServiceModel,
+        policy: BatchingPolicy,
+        mode: str = "auto",
     ) -> None:
+        if mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
+            )
         self.model = model
         self.policy = policy
+        self.mode = mode
 
     def run(self, arrival_s: np.ndarray) -> ServingReport:
         """Serve a trace of arrival times to completion.
@@ -359,7 +378,9 @@ class ServingSimulator:
         Raises:
             ValueError: on an empty or unsorted trace.
         """
-        run = EventLoopKernel(self.model, self.policy).run(arrival_s)
+        run = EventLoopKernel(
+            self.model, self.policy, mode=self.mode
+        ).run(arrival_s)
         return ServingReport(
             policy=self.policy,
             num_cores=run.initial_num_cores,
@@ -378,6 +399,7 @@ def simulate_serving(
     num_cores: int,
     config: PCNNAConfig | None = None,
     clamp_cores: bool = False,
+    mode: str = "auto",
 ) -> ServingReport:
     """One-call serving simulation for an executable network.
 
@@ -385,13 +407,13 @@ def simulate_serving(
     layers and runs the trace through a :class:`ServingSimulator`.
 
     Raises:
-        ValueError: on a conv-free network, invalid ``num_cores``, or a
-            bad trace.
+        ValueError: on a conv-free network, invalid ``num_cores``, a
+            bad trace, or an unknown ``mode``.
     """
     model = PipelineServiceModel.from_network(
         network, num_cores, config, clamp_cores
     )
-    return ServingSimulator(model, policy).run(arrival_s)
+    return ServingSimulator(model, policy, mode=mode).run(arrival_s)
 
 
 def replay_on_engine(

@@ -28,9 +28,18 @@ from repro.core.faults import (
     replay_on_engine_degraded,
     simulate_degraded_serving,
 )
-from repro.core.traffic import BatchingPolicy
+from repro.core.traffic import (
+    BatchingPolicy,
+    PipelineServiceModel,
+    ServingSimulator,
+)
 from repro.nn.layers import Conv2D
-from repro.workloads import poisson_arrivals, serving_batch, serving_network
+from repro.workloads import (
+    lenet5_conv_specs,
+    poisson_arrivals,
+    serving_batch,
+    serving_network,
+)
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 BATCH = 2
@@ -116,6 +125,55 @@ def compute_faulted_trace() -> dict[str, np.ndarray]:
     }
 
 
+# -- canonical vectorized dynamic-batching serving trace (PR 6) -----------
+TRAFFIC_REQUESTS = 2000
+TRAFFIC_ARRIVAL_SEED = 37
+TRAFFIC_CORES = 3
+TRAFFIC_MAX_BATCH = 8
+TRAFFIC_MAX_WAIT_S = 1e-4
+TRAFFIC_LOAD_FACTOR = 2.0  # offered load over full-batch capacity
+
+
+def compute_traffic_trace() -> dict[str, np.ndarray]:
+    """One deterministic vectorized serving trace end to end.
+
+    The fixture pins the PR 6 vectorized kernel's complete observable
+    surface on the canonical dynamic-batching scenario: the per-batch
+    plan (heads, widths, dispatches), the per-request streams, the busy
+    accounting, and the latency percentiles.  Because the vectorized
+    and reference modes are pinned bit-identical elsewhere, this one
+    fixture guards both.
+    """
+    model = PipelineServiceModel.from_specs(lenet5_conv_specs(), TRAFFIC_CORES)
+    rate = TRAFFIC_LOAD_FACTOR * model.capacity_rps(TRAFFIC_MAX_BATCH)
+    arrivals = poisson_arrivals(
+        rate, TRAFFIC_REQUESTS, seed=TRAFFIC_ARRIVAL_SEED
+    )
+    policy = BatchingPolicy.dynamic(TRAFFIC_MAX_BATCH, TRAFFIC_MAX_WAIT_S)
+    report = ServingSimulator(model, policy, mode="vectorized").run(arrivals)
+    return {
+        "arrivals_sha256": input_digest(arrivals),
+        "dispatch_s": report.dispatch_s,
+        "completion_s": report.completion_s,
+        "batch_first_request": np.array(
+            [b.first_request for b in report.batches]
+        ),
+        "batch_sizes": np.array([b.size for b in report.batches]),
+        "batch_dispatch_s": np.array([b.dispatch_s for b in report.batches]),
+        "batch_completion_s": np.array(
+            [b.completion_s for b in report.batches]
+        ),
+        "core_busy_s": np.array(report.core_busy_s),
+        "percentiles_s": np.array([report.p50_s, report.p95_s, report.p99_s]),
+        "meta_requests": np.array(TRAFFIC_REQUESTS),
+        "meta_arrival_seed": np.array(TRAFFIC_ARRIVAL_SEED),
+        "meta_cores": np.array(TRAFFIC_CORES),
+        "meta_max_batch": np.array(TRAFFIC_MAX_BATCH),
+        "meta_max_wait_s": np.array(TRAFFIC_MAX_WAIT_S),
+        "meta_load_factor": np.array(TRAFFIC_LOAD_FACTOR),
+    }
+
+
 def build_accelerator(mode: str) -> PCNNA:
     """The accelerator under golden test for one mode."""
     accelerator = PCNNA()
@@ -183,6 +241,14 @@ def main() -> None:
         f"wrote {faulted_path.relative_to(GOLDEN_DIR.parent.parent)} "
         f"({len(faulted['batch_sizes'])} batches, max divergence "
         f"{faulted['divergence_per_batch'].max():.4f})"
+    )
+    traffic = compute_traffic_trace()
+    traffic_path = fixture_path("traffic", "vectorized")
+    np.savez_compressed(traffic_path, **traffic)
+    print(
+        f"wrote {traffic_path.relative_to(GOLDEN_DIR.parent.parent)} "
+        f"({len(traffic['batch_sizes'])} batches, p99 "
+        f"{traffic['percentiles_s'][2]:.3e} s)"
     )
 
 

@@ -157,3 +157,75 @@ def test_quantized_fixture_differs_from_ideal():
     ) as quantized:
         assert not np.array_equal(ideal["outputs"], quantized["outputs"])
         assert np.array_equal(ideal["inputs_sha256"], quantized["inputs_sha256"])
+
+
+class TestVectorizedTrafficGolden:
+    """PR 6: the canonical vectorized dynamic-batching serving trace.
+
+    The fixture pins the vectorized kernel's full observable surface —
+    batch plan, per-request streams, busy accounting, percentiles — so
+    any change to the planners or the max-plus scans shows up as a bit
+    difference.  The bit-identity pins in ``test_vectorized_kernel.py``
+    extend the guard to the reference loop.
+    """
+
+    FIXTURE_KEYS = (
+        "dispatch_s",
+        "completion_s",
+        "batch_first_request",
+        "batch_sizes",
+        "batch_dispatch_s",
+        "batch_completion_s",
+        "core_busy_s",
+        "percentiles_s",
+    )
+
+    def test_traffic_trace_matches_golden_fixture(self):
+        from golden.regenerate import compute_traffic_trace
+
+        path = fixture_path("traffic", "vectorized")
+        assert path.exists(), (
+            f"missing golden fixture {path}; run "
+            "`PYTHONPATH=src python tests/golden/regenerate.py`"
+        )
+        with np.load(path) as fixture:
+            trace = compute_traffic_trace()
+            assert np.array_equal(
+                fixture["arrivals_sha256"], trace["arrivals_sha256"]
+            ), "the seeded arrival trace itself drifted"
+            for key in self.FIXTURE_KEYS:
+                _assert_matches(
+                    f"traffic/vectorized/{key}", fixture[key], trace[key]
+                )
+
+    def test_traffic_metadata_pins_the_scenario(self):
+        from golden import regenerate
+
+        with np.load(fixture_path("traffic", "vectorized")) as fixture:
+            assert int(fixture["meta_requests"]) == regenerate.TRAFFIC_REQUESTS
+            assert (
+                int(fixture["meta_arrival_seed"])
+                == regenerate.TRAFFIC_ARRIVAL_SEED
+            )
+            assert int(fixture["meta_cores"]) == regenerate.TRAFFIC_CORES
+            assert (
+                int(fixture["meta_max_batch"]) == regenerate.TRAFFIC_MAX_BATCH
+            )
+            assert (
+                float(fixture["meta_max_wait_s"])
+                == regenerate.TRAFFIC_MAX_WAIT_S
+            )
+            assert (
+                float(fixture["meta_load_factor"])
+                == regenerate.TRAFFIC_LOAD_FACTOR
+            )
+
+    def test_traffic_fixture_exercises_real_batching(self):
+        """Sanity: the scenario genuinely batches (not 2000 solo
+        dispatches) and genuinely queues (overloaded at 2x capacity)."""
+        with np.load(fixture_path("traffic", "vectorized")) as fixture:
+            sizes = fixture["batch_sizes"]
+            assert sizes.sum() == int(fixture["meta_requests"])
+            assert sizes.max() == int(fixture["meta_max_batch"])
+            assert len(sizes) < int(fixture["meta_requests"])
+            assert np.all(np.diff(fixture["batch_dispatch_s"]) >= 0.0)

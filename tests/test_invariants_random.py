@@ -31,6 +31,12 @@ tenant must conserve its offered load (``served + shed = offered``),
 never leak requests across tenants, keep latencies finite and causal,
 and reproduce bit-identically under the same inputs.
 
+PR 6 vectorizes the pluginless serving hot path; over random (policy,
+arrival-process, load, tie-quantization) draws the vectorized kernel
+must be *bit-identical* to the retained reference event loop on every
+per-request and per-batch stream, conserve requests, and keep dispatch
+and completion times causal and monotone.
+
 All randomness is drawn through seeded ``default_rng`` streams from
 hypothesis-chosen seeds, so failures shrink and replay deterministically.
 """
@@ -58,7 +64,11 @@ from repro.core.faults import (
     RecalibrationPolicy,
 )
 from repro.core.serving import run_network_pipelined
-from repro.core.traffic import BatchingPolicy, PipelineServiceModel
+from repro.core.traffic import (
+    BatchingPolicy,
+    PipelineServiceModel,
+    ServingSimulator,
+)
 from repro.nn import functional as F
 from repro.nn.layers import (
     Conv2D,
@@ -75,6 +85,7 @@ from repro.photonics.noise import realistic
 from repro.workloads import (
     alexnet_conv_specs,
     lenet5_conv_specs,
+    make_arrivals,
     poisson_arrivals,
 )
 
@@ -575,3 +586,93 @@ class TestClusterServingInvariants:
             assert np.array_equal(a.shed_arrival_s, b.shed_arrival_s)
             assert np.array_equal(a.accuracy_proxy, b.accuracy_proxy)
             assert a.batches == b.batches
+
+
+# --------------------------------------------------------------------------
+# PR 6: vectorized kernel vs reference event loop
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def kernel_trace_case(draw):
+    """A random (model, policy, trace) pluginless serving problem.
+
+    Policies span all three planner recipes (including the zero- and
+    tiny-wait dynamic edges), traces span all three arrival processes at
+    loads from starved to saturated, and an optional coarse quantization
+    collapses arrivals onto a grid to force simultaneous-arrival ties.
+    """
+    num_cores = draw(st.integers(min_value=1, max_value=3))
+    model = PipelineServiceModel.from_specs(lenet5_conv_specs(), num_cores)
+    policy = draw(
+        st.sampled_from(
+            [
+                BatchingPolicy.fifo(),
+                BatchingPolicy.dynamic(1, 1e-3),
+                BatchingPolicy.dynamic(4, 0.0),
+                BatchingPolicy.dynamic(2, 1e-9),
+                BatchingPolicy.dynamic(8, 1e-4),
+                BatchingPolicy.fixed(3),
+                BatchingPolicy.fixed(16),
+            ]
+        )
+    )
+    pattern = draw(st.sampled_from(["poisson", "mmpp", "diurnal"]))
+    load = draw(st.sampled_from([0.2, 1.0, 4.0, 20.0]))
+    num_requests = draw(st.integers(min_value=1, max_value=200))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rate = load * model.capacity_rps(max(policy.max_batch, 1))
+    arrivals = make_arrivals(pattern, rate, num_requests, seed=seed)
+    if draw(st.booleans()):
+        # Quantize onto a coarse grid: rounding is monotone, so the
+        # trace stays sorted, but distinct arrivals now collide.
+        span = float(arrivals[-1]) if float(arrivals[-1]) > 0.0 else 1.0
+        decimals = max(0, int(-np.floor(np.log10(span))) + 1)
+        arrivals = np.round(arrivals, decimals)
+    return model, policy, arrivals
+
+
+class TestKernelModeEquivalence:
+    """The vectorized kernel is the reference loop, bit for bit."""
+
+    @given(case=kernel_trace_case())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_bit_identical_to_reference(self, case):
+        model, policy, arrivals = case
+        ref = ServingSimulator(model, policy, mode="reference").run(arrivals)
+        vec = ServingSimulator(model, policy, mode="vectorized").run(arrivals)
+        assert ref.dispatch_s.tobytes() == vec.dispatch_s.tobytes()
+        assert ref.completion_s.tobytes() == vec.completion_s.tobytes()
+        assert ref.core_busy_s == vec.core_busy_s
+        assert len(ref.batches) == len(vec.batches)
+        assert ref.batches == vec.batches
+        for a, b in zip(ref.batches, vec.batches):
+            assert a.first_request == b.first_request
+            assert a.size == b.size
+            assert a.dispatch_s == b.dispatch_s
+            assert a.completion_s == b.completion_s
+
+    @given(case=kernel_trace_case())
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_run_conserves_and_orders(self, case):
+        model, policy, arrivals = case
+        report = ServingSimulator(model, policy, mode="vectorized").run(
+            arrivals
+        )
+        n = arrivals.size
+        # Conservation: every request lands in exactly one batch, in
+        # trace order, and the per-request streams cover the trace.
+        sizes = np.array([batch.size for batch in report.batches])
+        heads = np.array([batch.first_request for batch in report.batches])
+        assert int(sizes.sum()) == n
+        assert np.array_equal(heads, np.concatenate(([0], np.cumsum(sizes)[:-1])))
+        assert report.dispatch_s.shape == (n,)
+        assert report.completion_s.shape == (n,)
+        # Causality and monotonicity: dispatch never precedes arrival,
+        # completion never precedes dispatch, and batches finish in
+        # dispatch order (the pipeline never reorders).
+        assert np.all(report.dispatch_s >= report.arrival_s)
+        assert np.all(report.completion_s > report.dispatch_s)
+        assert np.all(np.diff(report.dispatch_s) >= 0.0)
+        assert np.all(np.diff(report.completion_s) >= 0.0)
+        assert all(busy >= 0.0 for busy in report.core_busy_s)

@@ -1,0 +1,485 @@
+"""Differential pins: the vectorized kernel vs the reference event loop.
+
+PR 6 rebuilds the pluginless serving hot path on array ops (batch
+planning, max-plus completion scans, cumulative busy accounting) while
+keeping the original per-event loop alive as ``mode="reference"``.  The
+contract is *bit-identity*, not tolerance: every dispatch, completion,
+batch record, busy total, and percentile must match the reference loop
+byte for byte, on every batching policy crossed with every arrival
+process, including the degenerate traces (single request, simultaneous
+arrivals) where the closed forms are easiest to get subtly wrong.
+
+These pins are what lets the vectorized path be the default (``"auto"``)
+without re-validating every downstream consumer: if the streams are
+bit-identical, so is everything computed from them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import (
+    ClusterSimulator,
+    ClusterTenant,
+    ElasticReallocation,
+    simulate_cluster_serving,
+)
+from repro.core.faults import (
+    DegradedServingSimulator,
+    FaultEvent,
+    FaultSchedule,
+    RecalibrationPolicy,
+)
+from repro.core.simkernel import (
+    KERNEL_MODES,
+    BatchTable,
+    EventLoopKernel,
+    KernelPlugin,
+    plan_batches,
+)
+from repro.core.traffic import (
+    BatchingPolicy,
+    PipelineServiceModel,
+    ServingSimulator,
+    replay_on_engine,
+    simulate_serving,
+)
+from repro.workloads import (
+    lenet5_conv_specs,
+    make_arrivals,
+    poisson_arrivals,
+    serving_network,
+)
+
+POLICIES = (
+    ("fifo", BatchingPolicy.fifo()),
+    ("dynamic", BatchingPolicy.dynamic(8, 1e-4)),
+    ("fixed", BatchingPolicy.fixed(6)),
+)
+PATTERNS = ("poisson", "mmpp", "diurnal")
+
+
+def lenet_model(num_cores: int = 3) -> PipelineServiceModel:
+    return PipelineServiceModel.from_specs(lenet5_conv_specs(), num_cores)
+
+
+def both_modes(model, policy, arrivals):
+    ref = ServingSimulator(model, policy, mode="reference").run(arrivals)
+    vec = ServingSimulator(model, policy, mode="vectorized").run(arrivals)
+    return ref, vec
+
+
+def assert_bit_identical(ref, vec):
+    """Byte-level equality of every stream and metric in two reports."""
+    assert ref.arrival_s.tobytes() == vec.arrival_s.tobytes()
+    assert ref.dispatch_s.tobytes() == vec.dispatch_s.tobytes()
+    assert ref.completion_s.tobytes() == vec.completion_s.tobytes()
+    assert ref.batches == vec.batches
+    assert vec.batches == ref.batches  # symmetric: BatchTable vs tuple
+    assert ref.core_busy_s == vec.core_busy_s
+    assert ref.p50_s == vec.p50_s
+    assert ref.p95_s == vec.p95_s
+    assert ref.p99_s == vec.p99_s
+    assert ref.makespan_s == vec.makespan_s
+    assert ref.throughput_rps == vec.throughput_rps
+    assert ref.core_utilization == vec.core_utilization
+    assert ref.max_queue_depth == vec.max_queue_depth
+    assert ref.mean_queue_depth == vec.mean_queue_depth
+
+
+class TestBitIdentityAcrossPoliciesAndArrivals:
+    """All three policies x all three arrival processes, several loads."""
+
+    @pytest.mark.parametrize(
+        ("policy_name", "policy"), POLICIES, ids=[p[0] for p in POLICIES]
+    )
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("load", [0.4, 1.0, 4.0])
+    def test_streams_match_reference(self, policy_name, policy, pattern, load):
+        model = lenet_model()
+        rate = load * model.capacity_rps(max(policy.max_batch, 1))
+        arrivals = make_arrivals(pattern, rate, 400, seed=13)
+        ref, vec = both_modes(model, policy, arrivals)
+        assert_bit_identical(ref, vec)
+
+    @pytest.mark.parametrize("num_cores", [1, 2, 3])
+    def test_streams_match_across_core_counts(self, num_cores):
+        model = lenet_model(num_cores)
+        policy = BatchingPolicy.dynamic(4, 1e-4)
+        arrivals = poisson_arrivals(2.0 * model.capacity_rps(4), 600, seed=5)
+        ref, vec = both_modes(model, policy, arrivals)
+        assert_bit_identical(ref, vec)
+
+    @pytest.mark.parametrize(
+        ("policy_name", "policy"), POLICIES, ids=[p[0] for p in POLICIES]
+    )
+    def test_zero_wait_and_tiny_wait_budgets(self, policy_name, policy):
+        """max_wait_s edge cases route through every planner branch."""
+        model = lenet_model()
+        arrivals = poisson_arrivals(4.0 * model.capacity_rps(4), 300, seed=3)
+        for extra in (
+            BatchingPolicy.dynamic(4, 0.0),
+            BatchingPolicy.dynamic(2, 1e-9),
+            policy,
+        ):
+            ref, vec = both_modes(model, extra, arrivals)
+            assert_bit_identical(ref, vec)
+
+
+class TestDegenerateTraces:
+    """Empty / single-request / all-tie traces, both modes."""
+
+    @pytest.mark.parametrize("mode", ["reference", "vectorized"])
+    def test_empty_trace_rejected_in_both_modes(self, mode):
+        model = lenet_model()
+        sim = ServingSimulator(model, BatchingPolicy.fifo(), mode=mode)
+        with pytest.raises(ValueError, match="empty"):
+            sim.run(np.array([]))
+
+    @pytest.mark.parametrize(
+        ("policy_name", "policy"), POLICIES, ids=[p[0] for p in POLICIES]
+    )
+    def test_single_request_trace(self, policy_name, policy):
+        model = lenet_model()
+        ref, vec = both_modes(model, policy, np.array([0.125]))
+        assert_bit_identical(ref, vec)
+        assert len(vec.batches) == 1
+        assert vec.batches[0].size == 1
+
+    @pytest.mark.parametrize(
+        ("policy_name", "policy"), POLICIES, ids=[p[0] for p in POLICIES]
+    )
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            np.zeros(17),
+            np.full(9, 1.5),
+            np.repeat([0.0, 1e-6, 2e-6], 5),
+        ],
+        ids=["all-zero", "all-equal", "tie-clusters"],
+    )
+    def test_simultaneous_arrival_ties(self, policy_name, policy, trace):
+        model = lenet_model()
+        ref, vec = both_modes(model, policy, trace)
+        assert_bit_identical(ref, vec)
+
+    def test_quantized_trace_with_many_ties(self):
+        """Rounding a Poisson trace to a coarse grid forces tie runs."""
+        model = lenet_model()
+        rng = np.random.default_rng(42)
+        raw = np.cumsum(rng.exponential(1e-4, size=500))
+        trace = np.round(raw, 3)  # many arrivals collapse onto the grid
+        for _, policy in POLICIES:
+            ref, vec = both_modes(model, policy, trace)
+            assert_bit_identical(ref, vec)
+
+
+class TestTieOrderContract:
+    """plan_dispatch / plan_batches order simultaneous arrivals by index.
+
+    Requests that arrive at the same instant are served in trace order
+    (FIFO within the tie), so the k-th request of a tie cluster always
+    lands in the same batch slot in both modes.  This is the regression
+    pin for the tie-order contract documented on ``plan_dispatch``.
+    """
+
+    def test_ties_fill_batches_in_trace_order(self):
+        model = lenet_model()
+        policy = BatchingPolicy.fixed(4)
+        trace = np.array([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0])
+        heads, sizes, disp = plan_batches(trace, policy, model)
+        # Two full tie batches in index order, then the straggler.
+        assert heads.tolist() == [0, 4, 8]
+        assert sizes.tolist() == [4, 4, 1]
+        run = EventLoopKernel(model, policy, mode="vectorized").run(trace)
+        ref = EventLoopKernel(model, policy, mode="reference").run(trace)
+        assert [b.first_request for b in run.batches] == [0, 4, 8]
+        assert run.batches == ref.batches
+        # Per-request streams stay sorted within the tie cluster.
+        assert run.dispatch_s.tobytes() == ref.dispatch_s.tobytes()
+        assert run.completion_s.tobytes() == ref.completion_s.tobytes()
+
+    def test_dynamic_ties_dispatch_as_one_full_batch(self):
+        model = lenet_model()
+        policy = BatchingPolicy.dynamic(4, 1e-3)
+        trace = np.array([1.0, 1.0, 1.0, 1.0, 9.0])
+        heads, sizes, _ = plan_batches(trace, policy, model)
+        assert heads.tolist() == [0, 4]
+        assert sizes.tolist() == [4, 1]
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        model = lenet_model()
+        with pytest.raises(ValueError, match="mode"):
+            EventLoopKernel(model, BatchingPolicy.fifo(), mode="turbo")
+        with pytest.raises(ValueError, match="mode"):
+            ServingSimulator(model, BatchingPolicy.fifo(), mode="turbo")
+
+    def test_vectorized_with_plugins_rejected(self):
+        model = lenet_model()
+        with pytest.raises(ValueError, match="plugin"):
+            EventLoopKernel(
+                model,
+                BatchingPolicy.fifo(),
+                plugins=(KernelPlugin(),),
+                mode="vectorized",
+            )
+
+    def test_auto_with_plugins_falls_back_to_reference(self):
+        """A plugin-bearing auto run is the reference loop, bit for bit."""
+        model = lenet_model()
+        policy = BatchingPolicy.dynamic(4, 1e-4)
+        arrivals = poisson_arrivals(2.0 * model.capacity_rps(4), 200, seed=9)
+        plugged = EventLoopKernel(
+            model, policy, plugins=(KernelPlugin(),), mode="auto"
+        ).run(arrivals)
+        ref = EventLoopKernel(model, policy, mode="reference").run(arrivals)
+        assert plugged.dispatch_s.tobytes() == ref.dispatch_s.tobytes()
+        assert plugged.completion_s.tobytes() == ref.completion_s.tobytes()
+        assert plugged.batches == ref.batches
+
+    def test_kernel_modes_tuple_is_the_contract(self):
+        assert KERNEL_MODES == ("auto", "vectorized", "reference")
+
+
+class TestZeroMagnitudeFaultPin:
+    """The PR 4 zero-magnitude pin, re-asserted against vectorized mode.
+
+    A zero-magnitude fault schedule runs the *reference* loop (the fault
+    plugin forces the fallback), so comparing it to a plain vectorized
+    run pins reference ≡ vectorized through the full degraded-serving
+    stack, not just the bare kernel.
+    """
+
+    def zero_schedule(self, horizon_s: float) -> FaultSchedule:
+        return FaultSchedule(
+            name="zero",
+            events=(
+                FaultEvent("thermal_ramp", 0, 0.1 * horizon_s, 0.2),
+                FaultEvent("tia_droop", 1, 0.3 * horizon_s, 0.3),
+                FaultEvent(
+                    "dead_rings", 2, 0.5 * horizon_s, 1.0, rings=(3, 4)
+                ),
+            ),
+        ).scaled(0.0)
+
+    def test_zero_schedule_matches_vectorized_plain_run(self):
+        model = lenet_model()
+        policy = BatchingPolicy.dynamic(8, 1e-3)
+        arrivals = poisson_arrivals(2.0 * model.capacity_rps(8), 800, seed=17)
+        vec = ServingSimulator(model, policy, mode="vectorized").run(arrivals)
+        zero = DegradedServingSimulator(
+            model,
+            policy,
+            self.zero_schedule(float(arrivals[-1])),
+            recalibration=RecalibrationPolicy(),
+            specs=lenet5_conv_specs(),
+        ).run(arrivals)
+        assert vec.dispatch_s.tobytes() == zero.dispatch_s.tobytes()
+        assert vec.completion_s.tobytes() == zero.completion_s.tobytes()
+        assert vec.batches == tuple(zero.batches)
+        assert vec.core_busy_s == zero.core_busy_s
+        assert vec.p50_s == zero.p50_s
+        assert vec.p99_s == zero.p99_s
+
+    def test_degraded_simulator_rejects_vectorized_mode(self):
+        model = lenet_model()
+        sim = DegradedServingSimulator(
+            model,
+            BatchingPolicy.fifo(),
+            self.zero_schedule(1.0),
+            mode="vectorized",
+        )
+        with pytest.raises(ValueError, match="plugin|vectorized"):
+            sim.run(np.array([0.0, 0.5]))
+
+
+class TestSingleTenantClusterPin:
+    """A lone fault-free tenant collapses to one pluginless kernel run."""
+
+    def make_tenant(self, policy=None):
+        return ClusterTenant(
+            name="solo",
+            specs=lenet5_conv_specs(),
+            policy=policy or BatchingPolicy.dynamic(4, 1e-4),
+        )
+
+    def test_vectorized_matches_reference_cluster(self):
+        tenant = self.make_tenant()
+        arrivals = {"solo": poisson_arrivals(3e4, 500, seed=23)}
+        ref = simulate_cluster_serving(
+            [tenant], arrivals, pool_size=3, mode="reference"
+        )
+        vec = simulate_cluster_serving(
+            [tenant], arrivals, pool_size=3, mode="vectorized"
+        )
+        auto = simulate_cluster_serving([tenant], arrivals, pool_size=3)
+        for other in (vec, auto):
+            r, o = ref.tenant("solo"), other.tenant("solo")
+            assert r.arrival_s.tobytes() == o.arrival_s.tobytes()
+            assert r.dispatch_s.tobytes() == o.dispatch_s.tobytes()
+            assert r.completion_s.tobytes() == o.completion_s.tobytes()
+            assert tuple(r.batches) == tuple(o.batches)
+            assert r.core_busy_s == o.core_busy_s
+            assert np.array_equal(r.batch_num_cores, o.batch_num_cores)
+            assert np.array_equal(r.accuracy_proxy, o.accuracy_proxy)
+            assert r.shed_arrival_s.size == o.shed_arrival_s.size == 0
+            assert other.reallocations == ref.reallocations == ()
+            assert other.recalibrations == ref.recalibrations == ()
+
+    def test_vectorized_mode_demands_vectorizable_shape(self):
+        tenants = [
+            self.make_tenant(),
+            ClusterTenant(
+                name="other",
+                specs=lenet5_conv_specs(),
+                policy=BatchingPolicy.fifo(),
+            ),
+        ]
+        arrivals = {
+            "solo": poisson_arrivals(1e4, 50, seed=1),
+            "other": poisson_arrivals(1e4, 50, seed=2),
+        }
+        sim = ClusterSimulator(tenants, pool_size=3, mode="vectorized")
+        with pytest.raises(ValueError, match="vectorized"):
+            sim.run(arrivals)
+
+    def test_elastic_single_tenant_stays_on_reference(self):
+        """Elastic reallocation is feedback — auto must not vectorize."""
+        tenant = self.make_tenant()
+        arrivals = {"solo": poisson_arrivals(3e4, 200, seed=7)}
+        elastic = ElasticReallocation(pressure_ratio=1.0, min_queue=1)
+        ref = simulate_cluster_serving(
+            [tenant], arrivals, pool_size=3, elastic=elastic, mode="reference"
+        )
+        auto = simulate_cluster_serving(
+            [tenant], arrivals, pool_size=3, elastic=elastic
+        )
+        r, a = ref.tenant("solo"), auto.tenant("solo")
+        assert r.dispatch_s.tobytes() == a.dispatch_s.tobytes()
+        assert r.completion_s.tobytes() == a.completion_s.tobytes()
+
+
+class TestReplayFidelity:
+    """Vectorized batch streams drive the engine replay identically."""
+
+    def test_replay_on_engine_bit_identical(self):
+        network = serving_network("lenet5", seed=7)
+        report_ref = simulate_serving(
+            network, poisson_arrivals(2e4, 40, seed=3), BatchingPolicy.fixed(4),
+            num_cores=2, mode="reference",
+        )
+        report_vec = simulate_serving(
+            network, poisson_arrivals(2e4, 40, seed=3), BatchingPolicy.fixed(4),
+            num_cores=2, mode="vectorized",
+        )
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(40, 1, 32, 32))
+        out_ref = replay_on_engine(network, report_ref, inputs)
+        out_vec = replay_on_engine(network, report_vec, inputs)
+        assert len(out_ref) == len(out_vec)
+        for a, b in zip(out_ref, out_vec):
+            assert np.array_equal(a, b)
+
+
+class TestBatchTable:
+    """The array-backed batch sequence honours the Sequence contract."""
+
+    def table(self):
+        model = lenet_model()
+        arrivals = poisson_arrivals(3e4, 100, seed=31)
+        run = EventLoopKernel(
+            model, BatchingPolicy.dynamic(4, 1e-4), mode="vectorized"
+        ).run(arrivals)
+        return run.batches
+
+    def test_sequence_protocol(self):
+        table = self.table()
+        assert isinstance(table, BatchTable)
+        assert len(table) > 1
+        assert table[0].first_request == 0
+        assert table[-1] == table[len(table) - 1]
+        assert isinstance(table[1:3], tuple)
+        assert table[1:3] == tuple(table)[1:3]
+        with pytest.raises(IndexError):
+            table[len(table)]
+
+    def test_equality_vs_tuple_and_hash(self):
+        table = self.table()
+        assert table == tuple(table.records)
+        assert tuple(table.records) == tuple(table)
+        assert table == self.table()
+        assert table != tuple(table.records)[:-1]
+        with pytest.raises(TypeError):
+            hash(table)
+
+    def test_records_cached(self):
+        table = self.table()
+        assert table.records is table.records
+
+    def test_repr_is_compact(self):
+        table = self.table()
+        text = repr(table)
+        assert "BatchTable" in text
+        assert str(len(table)) in text
+
+
+class TestMaxPlusScanExactness:
+    """The scan helpers are exact even when speculation fails.
+
+    Serving traces are benign (monotone arrivals, positive service
+    times), so the speculative pass almost always verifies clean; these
+    adversarial wide-magnitude inputs force the verify/repair machinery
+    to actually run, pinning the property the bit-identity contract
+    rests on: the scans equal the scalar fold on *any* float input.
+    """
+
+    @staticmethod
+    def scalar_scan(e, d):
+        y = np.empty(e.size)
+        y[0] = e[0] + d[0]
+        for k in range(1, e.size):
+            y[k] = max(float(e[k]), float(y[k - 1])) + float(d[k])
+        return y
+
+    @staticmethod
+    def scalar_scan_const(e, d, y0):
+        y = np.empty(e.size)
+        y[0] = y0
+        for k in range(1, e.size):
+            y[k] = max(float(e[k]), float(y[k - 1]) + d)
+        return y
+
+    def test_scan_exact_on_wide_magnitude_inputs(self):
+        from repro.core.simkernel import _maxplus_scan
+
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            n = int(rng.integers(2, 60))
+            e = np.sort(
+                np.cumsum(np.abs(rng.normal(size=n)))
+                * 10.0 ** rng.uniform(-8, 8, size=n)
+            )
+            d = np.abs(rng.normal(size=n)) * 10.0 ** rng.uniform(
+                -8, 8, size=n
+            )
+            assert np.array_equal(
+                _maxplus_scan(e.copy(), d.copy()), self.scalar_scan(e, d)
+            )
+
+    def test_const_scan_exact_on_wide_magnitude_inputs(self):
+        from repro.core.simkernel import _maxplus_scan_const
+
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            n = int(rng.integers(2, 60))
+            e = np.sort(
+                np.cumsum(np.abs(rng.normal(size=n)))
+                * 10.0 ** rng.uniform(-8, 8, size=n)
+            )
+            d = float(np.abs(rng.normal()) * 10.0 ** rng.uniform(-4, 4))
+            y0 = max(float(e[0]), 0.0)
+            assert np.array_equal(
+                _maxplus_scan_const(e.copy(), d, y0),
+                self.scalar_scan_const(e, d, y0),
+            )
