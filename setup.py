@@ -30,6 +30,14 @@ setup(
     install_requires=["numpy>=1.22"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
+        # repro.lint is stdlib-only; the extra exists so tooling that
+        # installs linters by extra name has something to point at.
+        "lint": [],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-lint=repro.lint.cli:main",
+        ],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

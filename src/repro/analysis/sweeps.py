@@ -70,6 +70,8 @@ class SweepPoint:
     rings: int
 
 
+# repro: allow[API002] closed-form analytical sweep (paper section V):
+# pure function of the layer spec and config, nothing stochastic
 def sweep_num_dacs(
     spec: ConvLayerSpec,
     dac_counts: list[int],
@@ -91,6 +93,8 @@ def sweep_num_dacs(
     return points
 
 
+# repro: allow[API002] closed-form analytical sweep: pure function of
+# the layer spec and config, nothing stochastic
 def sweep_fast_clock(
     spec: ConvLayerSpec,
     clocks_hz: list[float],
@@ -112,6 +116,8 @@ def sweep_fast_clock(
     return points
 
 
+# repro: allow[API002] closed-form analytical sweep: pure function of
+# the layer spec and config, nothing stochastic
 def sweep_stride(
     spec: ConvLayerSpec,
     strides: list[int],
@@ -465,6 +471,8 @@ def sweep_cluster_serving(
     return points
 
 
+# repro: allow[API002] closed-form analytical sweep: pure function of
+# the layer spec and config, nothing stochastic
 def sweep_kernel_count(
     spec: ConvLayerSpec,
     kernel_counts: list[int],

@@ -368,6 +368,8 @@ class PCNNA:
         """Closed-form analysis of one conv layer (paper section V)."""
         return analyze_layer(spec, self.config)
 
+    # repro: allow[API002] delegate to the deterministic cycle-level
+    # model; the engine's own randomness (noise) is seeded NoiseConfig
     def simulate_layer(
         self, spec: ConvLayerSpec, include_adc: bool = True
     ) -> LayerTimingResult:

@@ -73,6 +73,13 @@ from repro.core.traffic import (
 from repro.nn.network import Network
 from repro.nn.shapes import ConvLayerSpec
 
+# Contract markers checked by `python -m repro.lint` (BIT001/PERF001):
+# a single-tenant zero-fault cluster run is pinned bit-identical to the
+# plain simulator, and _TenantLane is the per-tenant hot-path state the
+# cluster event loop advances on every dispatch.
+__bit_identity__ = True
+__hot_path__ = ("_TenantLane",)
+
 ROUTING_KINDS: tuple[str, ...] = ("weighted-fair", "priority")
 """Routing disciplines a :class:`RoutingPolicy` may carry."""
 
@@ -333,16 +340,19 @@ class ClusterReport:
     @property
     def num_offered(self) -> int:
         """Requests offered across every tenant."""
+        # repro: allow[BIT001] integer count, exact in any order
         return sum(report.num_offered for report in self.tenants)
 
     @property
     def num_served(self) -> int:
         """Requests served across every tenant."""
+        # repro: allow[BIT001] integer count, exact in any order
         return sum(report.num_requests for report in self.tenants)
 
     @property
     def num_shed(self) -> int:
         """Requests shed across every tenant."""
+        # repro: allow[BIT001] integer count, exact in any order
         return sum(report.num_shed for report in self.tenants)
 
     @property
@@ -400,6 +410,28 @@ class _TenantLane:
     judgment cannot flip (occupancy only shrinks as batches complete)
     and otherwise wait, unjudged, for the commit that decides them.
     """
+
+    __slots__ = (
+        "index",
+        "spec",
+        "config",
+        "raw",
+        "n",
+        "cap",
+        "policy",
+        "ctx",
+        "initial_width",
+        "admitted_times",
+        "admitted",
+        "ptr",
+        "shed",
+        "widths",
+        "proxies",
+        "served",
+        "released",
+        "_completion_times",
+        "_cum_completed",
+    )
 
     def __init__(
         self,
@@ -646,6 +678,8 @@ def allocate_pool(
             counts[index] += take
             remaining -= take
     else:
+        # repro: allow[BIT001] strict left fold over the fixed tenant
+        # order; shares derived from it feed integer core counts only
         total_weight = sum(tenant.weight for tenant in tenants)
         shares = [
             tenant.weight / total_weight * pool_size for tenant in tenants

@@ -71,6 +71,13 @@ from repro.photonics.drift import (
     drift_transfer,
 )
 
+# Contract markers checked by `python -m repro.lint` (BIT001/PERF001):
+# the zero-magnitude differential pins this module's floats
+# bit-identical to the fault-free run, and CoreHealthState advances on
+# every dispatch of the event loop.
+__bit_identity__ = True
+__hot_path__ = ("CoreHealthState",)
+
 FAULT_KINDS: tuple[str, ...] = (
     "thermal_ramp",
     "crosstalk",
@@ -449,6 +456,18 @@ class CoreHealthState:
         probe_rings: rings in the accuracy-probe bank.
     """
 
+    __slots__ = (
+        "core",
+        "events",
+        "probe",
+        "_condition",
+        "error",
+        "compensated_shift_hz",
+        "compensated_gain",
+        "recal_exhausted",
+        "_exhausted_condition",
+    )
+
     def __init__(
         self, core: int, schedule: FaultSchedule, probe_rings: int = 8
     ) -> None:
@@ -624,6 +643,9 @@ class DegradedServingReport(ServingReport):
     def mean_accuracy_proxy(self) -> float:
         """Batch-weighted mean of the accuracy proxy."""
         sizes = np.array([batch.size for batch in self.batches], dtype=float)
+        # repro: allow[BIT001] report statistic outside the differential
+        # pin: both folds run on the same arrays whichever mode built
+        # the schedule, so the rounding is identical by construction
         return float((self.accuracy_proxy * sizes).sum() / sizes.sum())
 
     @property

@@ -102,6 +102,8 @@ def stage_service_times(
     return np.stack([fetch, convert, compute, digitize])
 
 
+# repro: allow[API002] closed-form cycle-level model: every input is a
+# layer spec and a config constant, nothing stochastic to seed
 def simulate_pipeline(
     spec: ConvLayerSpec,
     config: PCNNAConfig | None = None,

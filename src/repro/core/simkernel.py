@@ -41,6 +41,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# Contract markers checked by `python -m repro.lint` (BIT001/PERF001):
+# this module's floats are pinned bit-identical across modes, and the
+# listed classes are constructed per batch inside the event loop.
+__bit_identity__ = True
+__hot_path__ = ("BatchRecord", "BatchTable", "DispatchContext")
+
 KERNEL_MODES: tuple[str, ...] = ("auto", "vectorized", "reference")
 """Execution modes accepted by :class:`EventLoopKernel`.
 
@@ -130,7 +136,7 @@ class BatchingPolicy:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchRecord:
     """One dispatched batch of the simulated schedule.
 

@@ -102,6 +102,8 @@ class LayerTimingResult:
         return self.pipelined_time_s / self.analytical_full_s
 
 
+# repro: allow[API002] deterministic cycle-level timing model: pure
+# function of the layer spec and config, nothing stochastic to seed
 def simulate_layer(
     spec: ConvLayerSpec,
     config: PCNNAConfig | None = None,
@@ -270,6 +272,8 @@ class BatchLayerTimingResult:
         return self.layer.weight_load_time_s / self.total_time_s
 
 
+# repro: allow[API002] deterministic cycle-level timing model: pure
+# function of the layer spec, batch size, and config
 def simulate_layer_batch(
     spec: ConvLayerSpec,
     batch_size: int,
@@ -295,6 +299,8 @@ def simulate_layer_batch(
     )
 
 
+# repro: allow[API002] deterministic cycle-level timing model over a
+# fixed layer list; nothing stochastic to seed
 def simulate_network(
     specs: list[ConvLayerSpec],
     config: PCNNAConfig | None = None,

@@ -1,0 +1,214 @@
+"""``lint_baseline.toml``: file-level suppression for inherited debt.
+
+Pragmas waive a single line; the baseline waives findings wholesale —
+the escape hatch for adopting a new rule over a codebase with existing
+violations.  This repo's policy is to *fix* violations in the same PR
+that surfaces them, so the shipped baseline stays empty; the machinery
+exists for rule rollout and is exercised by the test suite.
+
+Format (a small TOML subset, parsed by stdlib ``tomllib`` on 3.11+ and
+by the built-in fallback parser on 3.10, where ``tomllib`` does not
+exist and new dependencies are off the table)::
+
+    version = 1
+
+    [[suppress]]
+    code = "BIT001"
+    path = "src/repro/core/example.py"
+    line = 12          # optional: any line when omitted
+    reason = "inherited from rule rollout; tracked in #123"
+
+Every entry must carry a non-empty ``reason``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+try:  # pragma: no cover - exercised on 3.11+; the fallback has its own tests
+    import tomllib
+except ImportError:  # pragma: no cover - the 3.10 path
+    tomllib = None
+
+BASELINE_NAME = "lint_baseline.toml"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One suppressed finding pattern.
+
+    Attributes:
+        code: rule code the entry suppresses.
+        path: relpath the entry applies to (``/`` separators).
+        reason: why the violation is tolerated (required).
+        line: exact line to match; ``None`` matches any line.
+    """
+
+    code: str
+    path: str
+    reason: str
+    line: int | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.code == self.code
+            and finding.path == self.path
+            and (self.line is None or finding.line == self.line)
+        )
+
+
+@dataclass(slots=True)
+class Baseline:
+    """The parsed baseline: entries plus bookkeeping for staleness."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[tuple[Finding, BaselineEntry]], list[BaselineEntry]]:
+        """Split findings into (kept, baselined, stale entries)."""
+        used: set[BaselineEntry] = set()
+        kept = []
+        baselined = []
+        for finding in findings:
+            entry = next(
+                (e for e in self.entries if e.matches(finding)), None
+            )
+            if entry is None:
+                kept.append(finding)
+            else:
+                used.add(entry)
+                baselined.append((finding, entry))
+        stale = [e for e in self.entries if e not in used]
+        return kept, baselined, stale
+
+
+_KEY_VALUE_RE = re.compile(
+    r"""^(?P<key>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*
+        (?:"(?P<string>[^"]*)"|(?P<int>-?\d+))\s*$""",
+    re.VERBOSE,
+)
+
+
+def _parse_toml_subset(text: str) -> dict:
+    """Parse the baseline's TOML subset without ``tomllib`` (py3.10).
+
+    Supports comments, ``key = "string"``, ``key = int``, and
+    ``[[suppress]]`` array-of-tables headers — exactly the grammar the
+    baseline writer emits.
+    """
+    data: dict = {"suppress": []}
+    current: dict | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if '"' not in raw else raw.strip()
+        if '"' in raw:
+            # Strip trailing comments only outside the quoted value.
+            closing = raw.rfind('"')
+            tail = raw[closing + 1 :]
+            line = (raw[: closing + 1] + tail.split("#", 1)[0]).strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[suppress]]":
+            current = {}
+            data["suppress"].append(current)
+            continue
+        match = _KEY_VALUE_RE.match(line)
+        if match is None:
+            raise BaselineError(
+                f"baseline line {lineno}: cannot parse {raw!r} "
+                "(the no-tomllib fallback accepts only the subset the "
+                "baseline writer emits)"
+            )
+        value = (
+            match.group("string")
+            if match.group("string") is not None
+            else int(match.group("int"))
+        )
+        target = data if current is None else current
+        target[match.group("key")] = value
+    if not data["suppress"]:
+        data.pop("suppress")
+    return data
+
+
+def _entries_from_data(data: dict, origin: str) -> Baseline:
+    version = data.get("version", 1)
+    if version != 1:
+        raise BaselineError(f"{origin}: unsupported baseline version {version!r}")
+    entries = []
+    for index, raw in enumerate(data.get("suppress", [])):
+        code = raw.get("code")
+        path = raw.get("path")
+        reason = raw.get("reason", "")
+        if not code or not path:
+            raise BaselineError(
+                f"{origin}: suppress entry #{index + 1} needs `code` and `path`"
+            )
+        if not str(reason).strip():
+            raise BaselineError(
+                f"{origin}: suppress entry #{index + 1} ({code} at {path}) "
+                "has no `reason`; baseline entries must be justified"
+            )
+        line = raw.get("line")
+        entries.append(
+            BaselineEntry(
+                code=str(code),
+                path=str(path),
+                reason=str(reason),
+                line=int(line) if line is not None else None,
+            )
+        )
+    return Baseline(entries=entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file (empty baseline when the file is absent)."""
+    if not path.exists():
+        return Baseline()
+    text = path.read_text(encoding="utf-8")
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise BaselineError(f"{path}: {error}") from error
+    else:  # pragma: no cover - py3.10; the subset parser is tested directly
+        data = _parse_toml_subset(text)
+    return _entries_from_data(data, str(path))
+
+
+def format_baseline(findings: list[Finding], reason: str) -> str:
+    """Serialize findings as a baseline file (``--write-baseline``)."""
+    lines = [
+        "# repro.lint baseline - inherited findings tolerated during rollout.",
+        "# Policy: fix violations in the PR that surfaces them; keep this",
+        "# file empty.  Every entry must carry a `reason`.",
+        "version = 1",
+    ]
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines += [
+            "",
+            "[[suppress]]",
+            f'code = "{finding.code}"',
+            f'path = "{finding.path}"',
+            f"line = {finding.line}",
+            f'reason = "{reason}"',
+        ]
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "format_baseline",
+    "load_baseline",
+]

@@ -1,0 +1,176 @@
+"""``# repro: allow[RULE]`` pragmas: narrowly scoped, justified waivers.
+
+A pragma waives one rule on one line, and must carry a justification —
+the reviewer-facing sentence explaining why the violation is deliberate:
+
+    total = sum(times)  # repro: allow[BIT001] strict left fold over a
+                        #   fixed core order
+
+Syntax: ``# repro: allow[CODE] justification`` or
+``# repro: allow[CODE1,CODE2] justification``.  A pragma suppresses
+findings of the named rule(s) on its own line or, when the pragma is a
+comment-only line, on the line directly below it.
+
+The pragma layer is itself linted: a pragma with no justification or an
+unknown rule code is a ``LINT001`` finding, and a pragma that suppresses
+nothing is a ``LINT002`` finding — so stale waivers rot loudly, not
+silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+#: Matches the waiver comment grammar (codes may be a comma list).
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[A-Za-z0-9_,\s]+)\]\s*(?P<why>.*)$"
+)
+
+
+@dataclass(slots=True)
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment.
+
+    Attributes:
+        line: 1-based line the pragma comment sits on.
+        codes: rule codes the pragma waives, in written order.
+        justification: the free-text reason after the bracket.
+        target_line: the statement line the pragma covers besides its
+            own — for a comment-only pragma, the first non-comment line
+            below it (justifications may span several comment lines);
+            for a trailing pragma, the pragma's own line.
+        used: set by the engine when the pragma suppresses a finding.
+    """
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+    target_line: int
+    used: bool = field(default=False)
+
+    def covers(self, code: str, line: int) -> bool:
+        """Whether this pragma waives ``code`` at ``line``."""
+        return code in self.codes and line in (self.line, self.target_line)
+
+
+def scan_pragmas(source: str) -> list[Pragma]:
+    """Extract every pragma from a module's *real* comments.
+
+    Tokenizes rather than regex-scanning lines, so pragma examples
+    inside docstrings and string literals are not mistaken for live
+    waivers.  An untokenizable file yields no pragmas (it will carry a
+    LINT000 parse finding anyway).
+    """
+    pragmas = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno, col = token.start
+        codes = tuple(
+            part.strip().upper()
+            for part in match.group("codes").split(",")
+            if part.strip()
+        )
+        target = lineno
+        if not token.line[:col].strip():
+            # Comment-only pragma: cover the first statement below the
+            # comment block (the justification may wrap onto more
+            # comment lines).
+            target = lineno + 1
+            while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
+                target += 1
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                codes=codes,
+                justification=match.group("why").strip(),
+                target_line=target,
+            )
+        )
+    return pragmas
+
+
+def validate_pragmas(
+    path: str, pragmas: list[Pragma], known_codes: frozenset[str]
+) -> list[Finding]:
+    """LINT001 findings for malformed pragmas (no reason / unknown code)."""
+    findings = []
+    for pragma in pragmas:
+        if not pragma.justification:
+            findings.append(
+                Finding(
+                    code="LINT001",
+                    path=path,
+                    line=pragma.line,
+                    col=0,
+                    message=(
+                        "pragma waives "
+                        f"[{','.join(pragma.codes)}] without a justification; "
+                        "write `# repro: allow[CODE] <why this is deliberate>`"
+                    ),
+                )
+            )
+        unknown = [c for c in pragma.codes if c not in known_codes]
+        if unknown:
+            findings.append(
+                Finding(
+                    code="LINT001",
+                    path=path,
+                    line=pragma.line,
+                    col=0,
+                    message=(
+                        f"pragma names unknown rule code(s) {unknown}; "
+                        "run `python -m repro.lint --list-rules`"
+                    ),
+                )
+            )
+    return findings
+
+
+def unused_pragma_findings(path: str, pragmas: list[Pragma]) -> list[Finding]:
+    """LINT002 findings for pragmas that suppressed nothing.
+
+    Malformed pragmas (no justification) are skipped — they already
+    carry a LINT001 and fixing that comes first.
+    """
+    findings = []
+    for pragma in pragmas:
+        if pragma.used or not pragma.justification:
+            continue
+        findings.append(
+            Finding(
+                code="LINT002",
+                path=path,
+                line=pragma.line,
+                col=0,
+                message=(
+                    f"pragma allow[{','.join(pragma.codes)}] suppresses no "
+                    "finding; the violation it waived is gone — delete the "
+                    "pragma"
+                ),
+            )
+        )
+    return findings
+
+
+__all__ = [
+    "Pragma",
+    "scan_pragmas",
+    "unused_pragma_findings",
+    "validate_pragmas",
+]

@@ -1,0 +1,120 @@
+"""Rule registry: every check the pass runs, keyed by its code.
+
+A rule is a class with a ``code``, a one-line ``title``, a
+``rationale`` naming the bug class it guards against, and a ``check``
+that yields :class:`~repro.lint.findings.Finding` objects for one
+module.  Registration is declarative::
+
+    @register
+    class MyRule(Rule):
+        code = "XYZ001"
+        ...
+
+Engine-level codes (LINT000 syntax error, LINT001 malformed pragma,
+LINT002 unused pragma) are registered here too so ``--list-rules``,
+pragma validation, and the fixture meta-test see one namespace, but
+their findings are emitted by the engine, not by ``check``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from repro.lint.findings import Finding
+from repro.lint.walker import ModuleInfo, Project
+
+
+class Rule:
+    """Base class for lint rules; subclass and override :meth:`check`."""
+
+    #: Unique rule code, e.g. ``"DET001"``.
+    code: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: The bug class this rule guards against (docs table).
+    rationale: str = ""
+    #: Findings of this rule cannot be waived with a pragma.
+    engine_level: bool = False
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        """Yield findings for one module (default: none)."""
+        return iter(())
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _RULES[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order."""
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def rule_codes() -> frozenset[str]:
+    """The set of registered rule codes."""
+    return frozenset(_RULES)
+
+
+def checkable_rules() -> Iterable[Rule]:
+    """Rules whose findings come from :meth:`Rule.check`."""
+    return [rule for rule in all_rules() if not rule.engine_level]
+
+
+@register
+class SyntaxErrorRule(Rule):
+    """Engine-level: the file failed to parse."""
+
+    code = "LINT000"
+    title = "file does not parse"
+    rationale = (
+        "an unparsable file is invisible to every other contract check"
+    )
+    engine_level = True
+
+
+@register
+class MalformedPragmaRule(Rule):
+    """Engine-level: a pragma with no justification or unknown code."""
+
+    code = "LINT001"
+    title = "malformed allow pragma"
+    rationale = (
+        "a waiver without a written justification is indistinguishable "
+        "from a silenced bug"
+    )
+    engine_level = True
+
+
+@register
+class UnusedPragmaRule(Rule):
+    """Engine-level: a pragma that suppresses no finding."""
+
+    code = "LINT002"
+    title = "unused allow pragma"
+    rationale = (
+        "stale waivers accumulate until a real violation hides under one"
+    )
+    engine_level = True
+
+
+__all__ = [
+    "MalformedPragmaRule",
+    "Rule",
+    "SyntaxErrorRule",
+    "UnusedPragmaRule",
+    "all_rules",
+    "checkable_rules",
+    "register",
+    "rule_codes",
+]

@@ -1,0 +1,261 @@
+"""DET rules: every source of nondeterminism the repo has banned.
+
+The reproduction's guarantees (golden fixtures byte-identical across
+PRs, vectorized == reference bit-equality, zero-magnitude fault
+schedules == fault-free runs) only hold because randomness is always
+seeded, the simulated clock is the only clock, and nothing iterates a
+hash-ordered container into a float fold.  These rules make the three
+conventions machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.walker import (
+    ModuleInfo,
+    Project,
+    dotted_call_name,
+    enclosing_symbols,
+)
+
+#: numpy.random attributes that construct seedable generators — the
+#: only sanctioned entry points into numpy randomness.
+_NUMPY_RNG_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Wall-clock entry points; the event loop's simulated clock is the
+#: only clock simulation code may read.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Consumers whose result depends on iteration order: feeding them a
+#: set leaks hash order into float accumulation or event ordering.
+_ORDER_SENSITIVE_CONSUMERS = frozenset(
+    {"sum", "list", "tuple", "iter", "enumerate"}
+)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """No positional seed and no seed= keyword (or an explicit None)."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return isinstance(
+                keyword.value, ast.Constant
+            ) and keyword.value.value is None
+    return True
+
+
+@register
+class UnseededRandomness(Rule):
+    code = "DET001"
+    title = "unseeded or global-state randomness"
+    rationale = (
+        "module-level RNGs and unseeded generators make runs "
+        "irreproducible; every simulate_* result must be a pure "
+        "function of its seed"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_call_name(module, node.func)
+            if name is None:
+                continue
+            message = None
+            if name.startswith("numpy.random."):
+                attr = name.rsplit(".", 1)[1]
+                if attr not in _NUMPY_RNG_CONSTRUCTORS:
+                    message = (
+                        f"call to numpy's module-level RNG `{name}` uses "
+                        "hidden global state; construct "
+                        "`np.random.default_rng(seed)` and thread it"
+                    )
+                elif attr == "default_rng" and _is_unseeded(node):
+                    message = (
+                        "`default_rng()` without a seed draws entropy from "
+                        "the OS; pass an explicit seed"
+                    )
+            elif name == "random.Random":
+                if _is_unseeded(node):
+                    message = (
+                        "`random.Random()` without a seed is "
+                        "irreproducible; pass an explicit seed (or use "
+                        "`np.random.default_rng(seed)`)"
+                    )
+            elif name.startswith("random."):
+                message = (
+                    f"stdlib `{name}` uses the process-global RNG; use a "
+                    "seeded `np.random.default_rng(seed)` instead"
+                )
+            if message is not None:
+                yield Finding(
+                    code=self.code,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=message,
+                    symbol=symbols.get(node.lineno, ""),
+                )
+
+
+@register
+class WallClockRead(Rule):
+    code = "DET002"
+    title = "wall-clock read outside benchmarks/"
+    rationale = (
+        "the simulated clock is the only clock; wall-clock reads made "
+        "PR 3's latency numbers machine-dependent until they were "
+        "quarantined to benchmarks/"
+    )
+
+    #: Path components where wall-clock reads are the point.
+    exempt_parts = frozenset({"benchmarks"})
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        if self.exempt_parts.intersection(module.relpath.split("/")):
+            return
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_call_name(module, node.func)
+            if name in _WALL_CLOCK:
+                yield Finding(
+                    code=self.code,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"wall-clock read `{name}()`; simulation code must "
+                        "use the kernel's simulated clock (wall timing "
+                        "belongs in benchmarks/)"
+                    ),
+                    symbol=symbols.get(node.lineno, ""),
+                )
+
+
+class _SetValueTracker(ast.NodeVisitor):
+    """Collects names bound to set-valued expressions, scope-insensitively.
+
+    A deliberately simple local inference: a name assigned a set
+    literal, a set/frozenset call, a set comprehension, or a set-algebra
+    combination of known set names is treated as set-valued everywhere
+    in the module.  False negatives (sets smuggled through functions)
+    are accepted; false positives require rebinding the same name to a
+    non-set, which the codebase's style avoids.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def _is_setish(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_setish(node.left) or self._is_setish(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_setish(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        self.generic_visit(node)
+
+
+@register
+class SetIterationOrder(Rule):
+    code = "DET003"
+    title = "hash-ordered set iteration feeds accumulation/ordering"
+    rationale = (
+        "set iteration order depends on PYTHONHASHSEED for str keys; "
+        "folding or sequencing over it breaks cross-run bit-identity — "
+        "sort first (`sorted(s)`)"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        tracker = _SetValueTracker()
+        tracker.visit(module.tree)
+        symbols = enclosing_symbols(module.tree)
+
+        def finding(node: ast.AST, what: str) -> Finding:
+            return Finding(
+                code=self.code,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{what} iterates a set in hash order; wrap it in "
+                    "`sorted(...)` to fix the order"
+                ),
+                symbol=symbols.get(node.lineno, ""),
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if tracker._is_setish(node.iter):
+                    yield finding(node.iter, "`for` loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if tracker._is_setish(generator.iter):
+                        yield finding(generator.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CONSUMERS
+                    and node.args
+                    and tracker._is_setish(node.args[0])
+                ):
+                    yield finding(node, f"`{node.func.id}(...)`")
+
+
+__all__ = ["SetIterationOrder", "UnseededRandomness", "WallClockRead"]

@@ -1,0 +1,113 @@
+"""PLUG001: KernelPlugin subclasses may only override real hooks.
+
+The event-loop kernel dispatches plugin hooks by name
+(``on_run_start``, ``on_dispatch_planned``, ``on_batch_complete``,
+``on_run_end``).  A typo'd override — ``on_batch_completed`` — defines
+a perfectly valid method that the kernel simply never calls, so the
+plugin silently no-ops.  This rule derives the hook vocabulary from the
+``KernelPlugin`` base class itself when it is part of the linted
+project (so adding a hook to the kernel updates the rule for free) and
+falls back to the pinned default set otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.walker import ModuleInfo, Project
+
+#: The kernel's hook vocabulary, used when ``KernelPlugin`` itself is
+#: not among the linted modules (e.g. single-file runs).
+DEFAULT_HOOKS = frozenset(
+    {"on_run_start", "on_dispatch_planned", "on_batch_complete", "on_run_end"}
+)
+
+_BASE_CLASS = "KernelPlugin"
+
+
+def _bases_include_kernel_plugin(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id == _BASE_CLASS:
+            return True
+        if isinstance(base, ast.Attribute) and base.attr == _BASE_CLASS:
+            return True
+    return False
+
+
+def _project_hooks(project: Project) -> frozenset[str]:
+    """Hook names read off the project's own KernelPlugin definition."""
+    for module in project.modules:
+        if module.parse_error is not None:
+            continue
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name == _BASE_CLASS
+                and not _bases_include_kernel_plugin(node)
+            ):
+                hooks = {
+                    member.name
+                    for member in node.body
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and member.name.startswith("on_")
+                }
+                if hooks:
+                    return frozenset(hooks)
+    return DEFAULT_HOOKS
+
+
+@register
+class PluginHookNames(Rule):
+    code = "PLUG001"
+    title = "KernelPlugin override is not a known hook"
+    rationale = (
+        "the kernel calls hooks by name; a typo'd override silently "
+        "never runs, which is the worst possible failure mode for "
+        "fault bookkeeping"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        hooks = None  # resolved lazily: most modules define no plugins
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _bases_include_kernel_plugin(node):
+                continue
+            if hooks is None:
+                hooks = _project_hooks(project)
+            for member in node.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not member.name.startswith("on_"):
+                    continue
+                if member.name in hooks:
+                    continue
+                close = difflib.get_close_matches(
+                    member.name, sorted(hooks), n=1
+                )
+                hint = f"; did you mean `{close[0]}`?" if close else ""
+                yield Finding(
+                    code=self.code,
+                    path=module.relpath,
+                    line=member.lineno,
+                    col=member.col_offset,
+                    message=(
+                        f"`{node.name}.{member.name}` is not a kernel hook "
+                        f"(known: {', '.join(sorted(hooks))}) and will "
+                        f"silently never be called{hint}"
+                    ),
+                    symbol=node.name,
+                )
+
+
+__all__ = ["DEFAULT_HOOKS", "PluginHookNames"]

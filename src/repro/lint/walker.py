@@ -1,0 +1,313 @@
+"""File discovery and per-module AST indexing.
+
+The walker turns a set of paths into a :class:`Project`: one parsed
+:class:`ModuleInfo` per python file, carrying everything the rules need
+— the AST, top-level bindings, the ``__all__`` literal, an import map
+for resolving dotted calls back to canonical module paths, the
+determinism pragmas, and the repo's contract markers
+(``__bit_identity__``, ``__hot_path__``).
+
+Rules never re-parse or re-read files; they interrogate this index, so
+adding a rule costs one AST walk, not another pass over the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.pragmas import Pragma, scan_pragmas
+
+#: Directories never linted.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Everything the rules need to know about one python file.
+
+    Attributes:
+        path: absolute path of the file.
+        relpath: path relative to the lint root, ``/``-separated.
+        name: best-effort dotted module name (``repro.core.traffic``),
+            derived from the ``__init__.py`` chain above the file.
+        tree: the parsed AST (a bare ``ast.Module`` when parsing failed).
+        lines: the source split into lines.
+        pragmas: parsed ``# repro: allow[...]`` pragmas.
+        parse_error: ``(line, message)`` when the file did not parse;
+            such modules get a LINT000 finding and are skipped by rules.
+        bindings: top-level name -> line it was bound at.
+        all_names: the ``__all__`` literal, or None when absent.
+        all_line: line of the ``__all__`` assignment (0 when absent).
+        all_is_literal: False when ``__all__`` exists but is not a
+            literal list/tuple of strings.
+        import_map: local name -> (source module, original name) for
+            ``from M import x [as y]`` bindings.
+        module_aliases: local alias -> module for ``import M [as A]``.
+        bit_identity: the module declares ``__bit_identity__ = True``.
+        hot_path: class names the module declares in ``__hot_path__``.
+        is_package_init: whether the file is an ``__init__.py``.
+    """
+
+    path: Path
+    relpath: str
+    name: str
+    tree: ast.Module
+    lines: list[str]
+    pragmas: list[Pragma]
+    parse_error: tuple[int, str] | None = None
+    bindings: dict[str, int] = field(default_factory=dict)
+    all_names: list[str] | None = None
+    all_line: int = 0
+    all_is_literal: bool = True
+    import_map: dict[str, tuple[str, str]] = field(default_factory=dict)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    bit_identity: bool = False
+    hot_path: tuple[str, ...] = ()
+    is_package_init: bool = False
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, sorted, deduplicated.
+
+    Raises:
+        FileNotFoundError: when a requested path does not exist.
+    """
+    found = []
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                found.append(path.resolve())
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in SKIP_DIRS for part in candidate.parts):
+                continue
+            found.append(candidate.resolve())
+    return sorted(set(found))
+
+
+def module_dotted_name(path: Path, root: Path) -> str:
+    """Dotted import name from the ``__init__.py`` chain above ``path``.
+
+    Walks up from the file while each parent directory is a package
+    (contains ``__init__.py``), so ``src/repro/core/traffic.py`` maps to
+    ``repro.core.traffic`` regardless of where the lint root sits.  A
+    file outside any package is just its stem.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists() and parent != parent.parent:
+        parts.insert(0, parent.name)
+        if parent == root:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _top_level_statements(tree: ast.Module):
+    """Top-level statements, descending into top-level if/try blocks.
+
+    ``if TYPE_CHECKING:`` imports and try/except import fallbacks bind
+    module-level names, so the binding index must see inside them.
+    """
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, ast.If):
+            stack = node.body + node.orelse + stack
+        elif isinstance(node, ast.Try):
+            handler_bodies = []
+            for handler in node.handlers:
+                handler_bodies.extend(handler.body)
+            stack = node.body + handler_bodies + node.orelse + stack
+
+
+def _literal_str_list(node: ast.expr) -> list[str] | None:
+    """The value of a list/tuple-of-strings literal, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        values.append(element.value)
+    return values
+
+
+def _index_module(info: ModuleInfo) -> None:
+    """Populate bindings, ``__all__``, import maps, and markers."""
+    for node in _top_level_statements(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                info.bindings[local] = node.lineno
+                info.module_aliases[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            source = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.bindings[local] = node.lineno
+                info.import_map[local] = (source, alias.name)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            info.bindings[node.name] = node.lineno
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                info.bindings[target.id] = node.lineno
+                if target.id == "__all__" and value is not None:
+                    info.all_line = node.lineno
+                    literal = _literal_str_list(value)
+                    if literal is None:
+                        info.all_is_literal = False
+                    else:
+                        info.all_names = literal
+                elif target.id == "__bit_identity__" and value is not None:
+                    info.bit_identity = bool(
+                        isinstance(value, ast.Constant) and value.value is True
+                    )
+                elif target.id == "__hot_path__" and value is not None:
+                    literal = _literal_str_list(value)
+                    if literal is not None:
+                        info.hot_path = tuple(literal)
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse and index one python file (never raises on bad syntax)."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        relpath = path.relative_to(root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    info = ModuleInfo(
+        path=path,
+        relpath=relpath,
+        name=module_dotted_name(path, root),
+        tree=ast.Module(body=[], type_ignores=[]),
+        lines=lines,
+        pragmas=scan_pragmas(source),
+        is_package_init=path.name == "__init__.py",
+    )
+    try:
+        info.tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        info.parse_error = (error.lineno or 1, error.msg or "syntax error")
+        return info
+    _index_module(info)
+    return info
+
+
+@dataclass(slots=True)
+class Project:
+    """The indexed set of modules one lint run covers.
+
+    Attributes:
+        root: directory findings are reported relative to.
+        modules: every module, in sorted path order.
+        by_name: dotted module name -> module (cross-module rules
+            resolve re-export chains through this).
+    """
+
+    root: Path
+    modules: list[ModuleInfo]
+    by_name: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for module in self.modules:
+            self.by_name[module.name] = module
+
+    @classmethod
+    def load(cls, paths: list[Path], root: Path) -> "Project":
+        files = iter_python_files(paths)
+        return cls(
+            root=root, modules=[load_module(path, root) for path in files]
+        )
+
+    def module_by_suffix(self, suffix: str) -> ModuleInfo | None:
+        """The module whose relpath ends with ``suffix``, if any."""
+        for module in self.modules:
+            if module.relpath.endswith(suffix):
+                return module
+        return None
+
+
+def dotted_call_name(module: ModuleInfo, func: ast.expr) -> str | None:
+    """Canonical dotted name of a call target, resolved via imports.
+
+    ``np.random.default_rng`` resolves to
+    ``numpy.random.default_rng`` when the module did ``import numpy as
+    np``; a bare ``default_rng`` resolves through ``from numpy.random
+    import default_rng``.  Locally defined names resolve to ``None``.
+    """
+    chain = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        chain.insert(0, node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = node.id
+    if head in module.module_aliases:
+        chain.insert(0, module.module_aliases[head])
+    elif head in module.import_map:
+        source, original = module.import_map[head]
+        chain = source.split(".") + [original] + chain
+    else:
+        return None
+    return ".".join(chain)
+
+
+def enclosing_symbols(tree: ast.Module) -> dict[int, str]:
+    """Map every AST line to its nearest enclosing def/class name."""
+    symbol_at: dict[int, str] = {}
+
+    def visit(node: ast.AST, symbol: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_symbol = child.name
+            lineno = getattr(child, "lineno", None)
+            if lineno is not None and child_symbol:
+                end = getattr(child, "end_lineno", lineno) or lineno
+                # Parent ranges are written before the recursion, so
+                # deeper symbols overwrite: the map ends up innermost.
+                for line in range(lineno, end + 1):
+                    symbol_at[line] = child_symbol
+            visit(child, child_symbol)
+
+    visit(tree, "")
+    return symbol_at
+
+
+__all__ = [
+    "ModuleInfo",
+    "Project",
+    "SKIP_DIRS",
+    "dotted_call_name",
+    "enclosing_symbols",
+    "iter_python_files",
+    "load_module",
+    "module_dotted_name",
+]

@@ -55,6 +55,8 @@ class BankSpectrum:
         return float(self.drop[index])
 
 
+# repro: allow[API002] closed-form Lorentzian transfer sweep: pure
+# function of the bank's tuning state, nothing stochastic to seed
 def sweep_bank_spectrum(
     bank: WeightBank,
     span_factor: float = 1.5,

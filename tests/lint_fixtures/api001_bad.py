@@ -1,0 +1,8 @@
+"""API001 positive fixture: duplicate and unbound ``__all__`` entries."""
+
+
+def real():
+    return 1
+
+
+__all__ = ["real", "real", "ghost"]  # EXPECT: API001,API001

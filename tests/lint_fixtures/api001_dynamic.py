@@ -1,0 +1,10 @@
+"""API001 positive fixture: a computed ``__all__`` is unauditable."""
+
+_NAMES = ["real"]
+
+
+def real():
+    return 1
+
+
+__all__ = sorted(_NAMES)  # EXPECT: API001

@@ -1,0 +1,7 @@
+# API001 positive fixture: a package __init__ with public bindings but
+# no declared export surface.
+# EXPECT-FILE: API001@1
+
+
+def helper():
+    return 1

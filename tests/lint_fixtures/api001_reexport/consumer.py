@@ -1,0 +1,6 @@
+"""API001 positive fixture: re-exporting a name its source hides."""
+
+from api001_reexport.source_mod import hidden  # EXPECT: API001
+from api001_reexport.source_mod import shown
+
+__all__ = ["hidden", "shown"]

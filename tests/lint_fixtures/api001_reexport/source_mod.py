@@ -1,0 +1,10 @@
+"""Source module for the re-export consistency fixtures."""
+
+
+def shown():
+    return 1
+
+
+hidden = 3
+
+__all__ = ["shown"]

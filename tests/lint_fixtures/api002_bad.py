@@ -1,0 +1,14 @@
+"""API002 positive fixture: entry points the caller cannot replay."""
+
+
+def simulate_queue(num_requests):  # EXPECT: API002
+    return [float(i) for i in range(num_requests)]
+
+
+def sweep_load(points, seed):  # EXPECT: API002
+    return [point * 2.0 for point in points]
+
+
+class Engine:
+    def simulate_run(self, num_requests):  # EXPECT: API002
+        return num_requests

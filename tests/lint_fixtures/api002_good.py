@@ -1,0 +1,28 @@
+"""API002 negative fixture: determinism injected by the caller."""
+
+import numpy as np
+
+
+def simulate_queue(num_requests, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(num_requests)
+
+
+def sweep_shared_trace(points, arrival_times_s):
+    return [point + arrival_times_s[0] for point in points]
+
+
+# repro: allow[API002] fixture: closed-form analytical model, nothing
+# stochastic to seed
+def simulate_closed_form(num_requests):
+    return num_requests * 2.0
+
+
+class Engine:
+    def simulate_run(self, rng):
+        return rng.random()
+
+
+class _PrivateHelper:
+    def simulate_internal(self):
+        return 0

@@ -1,0 +1,17 @@
+"""BIT001 positive fixture: unjustified folds under the marker."""
+
+import numpy as np
+
+__bit_identity__ = True
+
+
+def fold_builtin(values):
+    return sum(values)  # EXPECT: BIT001
+
+
+def fold_numpy(array):
+    return np.sum(array)  # EXPECT: BIT001
+
+
+def fold_method(array):
+    return array.sum()  # EXPECT: BIT001

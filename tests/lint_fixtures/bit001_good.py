@@ -1,0 +1,19 @@
+"""BIT001 negative fixture: justified or order-insensitive folds."""
+
+import math
+
+__bit_identity__ = True
+
+
+def fold_exact(values):
+    return math.fsum(values)
+
+
+def fold_justified(values):
+    # repro: allow[BIT001] strict left fold over the caller's fixed
+    # argument order; identical in every mode
+    return sum(values)
+
+
+def fold_trailing(values):
+    return sum(values)  # repro: allow[BIT001] fixture: pinned left fold

@@ -1,0 +1,25 @@
+"""DET001 positive fixture: every banned randomness entry point."""
+
+import random
+
+import numpy as np
+
+
+def draw_legacy():
+    return np.random.rand(4)  # EXPECT: DET001
+
+
+def draw_unseeded():
+    return np.random.default_rng()  # EXPECT: DET001
+
+
+def draw_explicit_none():
+    return np.random.default_rng(seed=None)  # EXPECT: DET001
+
+
+def draw_stdlib():
+    return random.random()  # EXPECT: DET001
+
+
+def draw_stdlib_instance():
+    return random.Random()  # EXPECT: DET001

@@ -1,0 +1,22 @@
+"""DET001 negative fixture: sanctioned, seeded randomness only."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_seeded():
+    return np.random.default_rng(42).normal()
+
+
+def draw_keyword_seeded():
+    return default_rng(seed=7).normal()
+
+
+def draw_bit_generator():
+    return np.random.Generator(np.random.Philox(1)).normal()
+
+
+def draw_stdlib_seeded():
+    return random.Random(3).random()

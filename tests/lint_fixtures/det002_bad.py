@@ -1,0 +1,10 @@
+"""DET002 positive fixture: wall-clock reads outside benchmarks/."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.perf_counter()  # EXPECT: DET002
+    now = datetime.now()  # EXPECT: DET002
+    return started, now, time.monotonic()  # EXPECT: DET002

@@ -1,0 +1,24 @@
+"""DET003 positive fixture: hash-ordered set iteration leaks out."""
+
+CHANNELS = {"ch0", "ch1", "ch2"}
+WEIGHTS = frozenset({0.25, 0.5})
+COMBINED = CHANNELS | {"ch3"}
+
+
+def fold_channels():
+    return sum({1.0, 2.0, 4.0})  # EXPECT: DET003
+
+
+def walk_channels():
+    names = []
+    for name in CHANNELS:  # EXPECT: DET003
+        names.append(name)
+    return names
+
+
+def expand_combined():
+    return [name.upper() for name in COMBINED]  # EXPECT: DET003
+
+
+def materialize_weights():
+    return list(WEIGHTS)  # EXPECT: DET003

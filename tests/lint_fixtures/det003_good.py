@@ -1,0 +1,22 @@
+"""DET003 negative fixture: sorted() pins the order before any fold."""
+
+CHANNELS = {"ch0", "ch1", "ch2"}
+
+
+def fold_channels():
+    return sum(sorted({1.0, 2.0, 4.0}))
+
+
+def walk_channels():
+    names = []
+    for name in sorted(CHANNELS):
+        names.append(name)
+    return names
+
+
+def membership_is_fine(name):
+    return name in CHANNELS
+
+
+def fold_a_list():
+    return sum([1.0, 2.0, 4.0])

@@ -1,0 +1,4 @@
+# LINT000 fixture: a file that does not parse at all.
+# EXPECT-FILE: LINT000@*
+def broken(:
+    pass

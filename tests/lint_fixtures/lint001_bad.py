@@ -1,0 +1,8 @@
+# LINT001 fixture: malformed pragmas (missing justification on line 6,
+# unknown rule code on line 7; the unknown-code pragma is also unused,
+# hence the extra LINT002).
+# EXPECT-FILE: LINT001@6
+# EXPECT-FILE: LINT001@7
+total = 0.0  # repro: allow[BIT001]
+count = 1  # repro: allow[NOPE999] there is no such rule
+# EXPECT-FILE: LINT002@7

@@ -1,0 +1,3 @@
+# LINT002 fixture: a justified pragma whose violation is gone.
+# EXPECT-FILE: LINT002@3
+sample_count = 1  # repro: allow[DET001] the draw this waived was removed

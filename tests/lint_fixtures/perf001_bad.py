@@ -1,0 +1,10 @@
+# PERF001 positive fixture: a declared hot-path class without
+# __slots__, and a declaration pointing at a class that is gone.
+# EXPECT-FILE: PERF001@1
+
+__hot_path__ = ("EventRecord", "Ghost")
+
+
+class EventRecord:  # EXPECT: PERF001
+    def __init__(self):
+        self.payload = 0

@@ -1,0 +1,29 @@
+"""PERF001 negative fixture: both sanctioned __slots__ spellings."""
+
+from dataclasses import dataclass
+
+__hot_path__ = ("Packed", "Row")
+
+
+class Packed:
+    """Explicit class-body tuple."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    """Dataclass slots keyword."""
+
+    index: int
+
+
+class ColdPath:
+    """Not declared hot: an instance dict is fine here."""
+
+    def __init__(self):
+        self.notes = {}

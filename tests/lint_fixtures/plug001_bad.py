@@ -1,0 +1,31 @@
+"""PLUG001 fixture: typo'd hook overrides silently never run.
+
+Defines its own ``KernelPlugin`` base so the fixture project carries a
+hook vocabulary (on_run_start, on_batch_complete, on_run_end) without
+importing the real kernel.
+"""
+
+
+class KernelPlugin:
+    def on_run_start(self, context):
+        pass
+
+    def on_batch_complete(self, context):
+        pass
+
+    def on_run_end(self, context):
+        pass
+
+
+class TypoPlugin(KernelPlugin):
+    def on_batch_completed(self, context):  # EXPECT: PLUG001
+        pass
+
+    def on_runstart(self, context):  # EXPECT: PLUG001
+        pass
+
+    def on_run_end(self, context):
+        pass
+
+    def helper_method(self):
+        pass

@@ -1,0 +1,17 @@
+"""Pragma fixture: trailing and comment-block waivers, all earning keep.
+
+Expected to lint completely clean — every finding in here is waived by
+a justified pragma, and every pragma suppresses something (no LINT002).
+"""
+
+import time
+
+__bit_identity__ = True
+
+
+def measure_and_fold(values):
+    started = time.perf_counter()  # repro: allow[DET002] fixture: wall time is observability only
+    # repro: allow[BIT001] strict left fold over the caller's fixed
+    # argument order; identical recipe in every mode
+    total = sum(values)
+    return started, total

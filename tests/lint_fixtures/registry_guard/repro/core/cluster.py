@@ -1,0 +1,7 @@
+# Registry-guard fixture: a module at a pinned path that dropped both
+# its `__bit_identity__` marker and its `__hot_path__` declaration.
+# The central registries must flag the deletions themselves.
+# EXPECT-FILE: BIT001@1
+# EXPECT-FILE: PERF001@1
+
+ROUTING_KINDS = ("round_robin",)
