@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Planet-scale fleet serving across regional photonic pools.
+
+The cluster demo shares one pool between tenants; this one shares the
+*planet* between regional pools.  It
+
+1. runs the named fleet mixes — follow-the-sun diurnal peaks, a severe
+   regional outage, and a bursty overflow onto a standby pool — and
+   prints each fleet report;
+2. sweeps the three global routing policies (geo-affinity,
+   least-loaded, latency-weighted) over one two-region trace to show
+   what each trades between locality and load spreading;
+3. walks a failover end to end: a mid-run outage degrades the primary
+   region past the failover threshold, new arrivals divert to the
+   survivor (paying the RTT), and service snaps home when the fault
+   clears;
+4. shows SLO-burn autoscaling commissioning a standby pool under an
+   MMPP burst and draining it again when the burst passes.
+
+Run:  python examples/fleet_serving.py
+"""
+
+from repro.analysis import (
+    FLEET_SWEEP_HEADER,
+    format_table,
+    sweep_fleet_serving,
+)
+from repro.core import (
+    GlobalRoutingPolicy,
+    RegionSpec,
+    simulate_fleet_serving,
+    uniform_rtt,
+)
+from repro.core.fleet import FLEET_ROUTING_KINDS
+from repro.workloads import FLEET_MIXES, fleet_mix
+
+
+def mix_tour() -> None:
+    """Every named fleet mix, run once and described."""
+    for name in FLEET_MIXES:
+        scenario = fleet_mix(name, rate_rps=6_000.0, num_requests=900, seed=7)
+        report = simulate_fleet_serving(
+            scenario.tenants,
+            scenario.regions,
+            scenario.arrival_s,
+            rtt_s=scenario.rtt_s,
+            routing=scenario.routing,
+            autoscaler=scenario.autoscaler,
+        )
+        print(f"mix '{name}':")
+        print(report.describe())
+        print()
+
+
+def routing_sweep() -> None:
+    """All three global routing policies over one two-region trace."""
+    scenario = fleet_mix(
+        "regional-outage", rate_rps=6_000.0, num_requests=800, seed=3
+    )
+    points = sweep_fleet_serving(
+        scenario.tenants,
+        scenario.regions,
+        scenario.arrival_s,
+        [GlobalRoutingPolicy(kind=kind) for kind in FLEET_ROUTING_KINDS],
+        rtt_s=scenario.rtt_s,
+    )
+    print(
+        format_table(
+            FLEET_SWEEP_HEADER,
+            [row for point in points for row in point.rows()],
+            title="routing-policy sweep over one outage trace",
+        )
+    )
+    print()
+
+
+def failover_walkthrough() -> None:
+    """One failover, narrated from the report's records."""
+    scenario = fleet_mix(
+        "regional-outage", rate_rps=6_000.0, num_requests=800, seed=11
+    )
+    report = simulate_fleet_serving(
+        scenario.tenants,
+        scenario.regions,
+        scenario.arrival_s,
+        rtt_s=scenario.rtt_s,
+        routing=scenario.routing,
+    )
+    record = report.failovers[0]
+    trace = report.trace("primary", "interactive")
+    diverted = trace.server_region != trace.home_index
+    print(
+        f"failover: region '{record.region}' degraded at "
+        f"{record.onset_s * 1e3:.1f} ms, diverted {record.rerouted} new "
+        f"arrivals to '{record.survivor}' until "
+        f"{record.until_s * 1e3:.1f} ms "
+        f"(first diverted request served {record.failover_latency_s * 1e3:.2f}"
+        f" ms after onset)"
+    )
+    print(
+        f"  'interactive' stream: {int(diverted.sum())} of "
+        f"{trace.num_offered} requests served remotely, each paying the "
+        f"{0.01 * 1e3:.0f} ms round trip on top of service"
+    )
+    print()
+
+
+def autoscaling_demo() -> None:
+    """An MMPP burst commissions the standby pool, then drains it."""
+    scenario = fleet_mix(
+        "burst-overflow", rate_rps=6_000.0, num_requests=1_200, seed=5
+    )
+    report = simulate_fleet_serving(
+        scenario.tenants,
+        scenario.regions,
+        scenario.arrival_s,
+        rtt_s=scenario.rtt_s,
+        routing=scenario.routing,
+        autoscaler=scenario.autoscaler,
+    )
+    for event in report.autoscale_events:
+        print(
+            f"autoscale: {event.action:>10} '{event.region}' at "
+            f"{event.time_s * 1e3:7.1f} ms (burn {event.burn:.2f}, "
+            f"{event.active_after} pools active)"
+        )
+    standby = report.region("standby")
+    print(
+        f"standby pool: routed {standby.routed_in}, served "
+        f"{standby.num_served}; fleet placement efficiency "
+        f"{report.placement_efficiency:.2f}"
+    )
+    print()
+
+
+def single_region_contract() -> None:
+    """The load-bearing pin, demonstrated: one healthy zero-RTT region
+    is exactly the cluster simulator, so every cluster result carries
+    over to the fleet unchanged."""
+    scenario = fleet_mix(
+        "regional-outage", rate_rps=4_000.0, num_requests=300, seed=2
+    )
+    arrival = scenario.arrival_s["fallback"]
+    fleet = simulate_fleet_serving(
+        scenario.tenants,
+        (RegionSpec("solo", 8),),
+        {"solo": {name: trace for name, trace in arrival.items()}},
+    )
+    print(
+        f"single-region fleet == cluster (bit-identical by contract): "
+        f"{fleet.num_served} served, p99 {fleet.p99_s * 1e6:.0f} us, "
+        f"0 remote, 0 failovers"
+    )
+
+
+def main() -> None:
+    mix_tour()
+    routing_sweep()
+    failover_walkthrough()
+    autoscaling_demo()
+    single_region_contract()
+
+
+if __name__ == "__main__":
+    main()

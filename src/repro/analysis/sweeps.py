@@ -15,7 +15,12 @@ explicit; these sweeps quantify their impact:
 * tenant mix x pool size — the cluster runtime's capacity planning
   question (:func:`sweep_cluster_serving`): how much pool does a given
   multi-tenant mix need before shedding stops and every tenant's tail
-  latency settles.
+  latency settles;
+* global routing policy x region set — the fleet runtime's placement
+  question (:func:`sweep_fleet_serving`): over one shared multi-region
+  offered load, what do geo-affinity, least-loaded, and
+  latency-weighted routing each cost in tail latency, cross-region
+  traffic, and placement efficiency.
 """
 
 from __future__ import annotations
@@ -38,6 +43,13 @@ from repro.core.cluster import (
     RoutingPolicy,
 )
 from repro.core.config import PCNNAConfig
+from repro.core.fleet import (
+    FleetAutoscaler,
+    FleetReport,
+    FleetRuntime,
+    GlobalRoutingPolicy,
+    RegionSpec,
+)
 from repro.core.faults import (
     DegradedServingReport,
     DegradedServingSimulator,
@@ -466,6 +478,122 @@ def sweep_cluster_serving(
         points.append(
             ClusterSweepPoint(
                 pool_size=pool_size, report=simulator.run(arrival_s)
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FleetSweepPoint:
+    """One routing-policy cell of a fleet placement sweep.
+
+    Attributes:
+        routing: the cell's global routing kind.
+        report: the full fleet simulation result for drill-down.
+    """
+
+    routing: str
+    report: FleetReport
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of the fleet's offered load shed under the cell."""
+        return self.report.num_shed / self.report.num_offered
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of offered load served away from home."""
+        return self.report.num_remote / self.report.num_offered
+
+    @property
+    def p99_s(self) -> float:
+        """Global 99th-percentile end-to-end latency of the cell."""
+        return self.report.p99_s
+
+    def rows(self) -> list[list[str]]:
+        """One formatted row per region of the cell."""
+        rows = []
+        for outcome in self.report.regions:
+            p99 = (
+                f"{outcome.p99_s * 1e6:.0f}" if outcome.num_served else "-"
+            )
+            rows.append(
+                [
+                    self.routing,
+                    outcome.name,
+                    str(outcome.pool_size),
+                    str(outcome.routed_in),
+                    str(outcome.remote_in),
+                    str(outcome.num_served),
+                    str(outcome.num_shed),
+                    p99,
+                    f"{self.report.placement_efficiency:.2f}",
+                ]
+            )
+        return rows
+
+
+FLEET_SWEEP_HEADER = [
+    "routing",
+    "region",
+    "pool",
+    "routed",
+    "remote",
+    "served",
+    "shed",
+    "p99 (us)",
+    "placement",
+]
+"""Column labels matching :meth:`FleetSweepPoint.rows`."""
+
+
+def sweep_fleet_serving(
+    tenants: Sequence[ClusterTenant],
+    regions: Sequence[RegionSpec],
+    arrival_s: Mapping[str, Mapping[str, np.ndarray]],
+    routings: Sequence[GlobalRoutingPolicy],
+    rtt_s: np.ndarray | None = None,
+    autoscaler: FleetAutoscaler | None = None,
+    config: PCNNAConfig | None = None,
+) -> list[FleetSweepPoint]:
+    """Simulate one multi-region offered load under each routing policy.
+
+    Every cell serves the identical per-region, per-tenant traces over
+    the identical region set and RTT matrix, so differences in tail
+    latency, cross-region traffic, shedding, and placement efficiency
+    are attributable to the global routing policy alone.
+
+    Args:
+        tenants: the globally replicated tenant set.
+        regions: the regional pools shared by every cell.
+        arrival_s: per-region, per-tenant traces shared by every cell.
+        routings: global routing policies to compare.
+        rtt_s: inter-region RTT matrix shared by every cell.
+        autoscaler: pool autoscaler shared by every cell.
+        config: hardware configuration.
+
+    Returns:
+        One :class:`FleetSweepPoint` per routing policy, in order.
+
+    Raises:
+        ValueError: on an empty routing list or invalid fleet
+            arguments.
+    """
+    if not routings:
+        raise ValueError("need at least one global routing policy")
+    points = []
+    for routing in routings:
+        runtime = FleetRuntime(
+            tenants,
+            regions,
+            rtt_s=rtt_s,
+            routing=routing,
+            autoscaler=autoscaler,
+            config=config,
+        )
+        points.append(
+            FleetSweepPoint(
+                routing=routing.kind, report=runtime.run(arrival_s)
             )
         )
     return points

@@ -36,6 +36,7 @@ REQUIRED_BIT_IDENTITY = (
     "repro/core/traffic.py",
     "repro/core/faults.py",
     "repro/core/cluster.py",
+    "repro/core/fleet.py",
 )
 
 #: Order-sensitive fold entry points (``math.fsum`` is exempt: it is

@@ -13,6 +13,11 @@ from repro.workloads.cluster_mixes import (
     CLUSTER_MIXES,
     cluster_mix,
 )
+from repro.workloads.fleet_mixes import (
+    FLEET_MIXES,
+    FleetScenario,
+    fleet_mix,
+)
 from repro.workloads.fault_scenarios import (
     FAULT_SCENARIOS,
     fault_scenario,
@@ -45,6 +50,9 @@ __all__ = [
     "inception_module_specs",
     "CLUSTER_MIXES",
     "cluster_mix",
+    "FLEET_MIXES",
+    "FleetScenario",
+    "fleet_mix",
     "FAULT_SCENARIOS",
     "fault_scenario",
     "SERVING_NETWORKS",

@@ -28,6 +28,12 @@ from repro.core.faults import (
     replay_on_engine_degraded,
     simulate_degraded_serving,
 )
+from repro.core.cluster import ClusterTenant
+from repro.core.fleet import (
+    RegionSpec,
+    simulate_fleet_serving,
+    uniform_rtt,
+)
 from repro.core.traffic import (
     BatchingPolicy,
     PipelineServiceModel,
@@ -174,6 +180,113 @@ def compute_traffic_trace() -> dict[str, np.ndarray]:
     }
 
 
+# -- canonical two-region failover trace (PR 8) ---------------------------
+FLEET_REQUESTS_PER_STREAM = 300
+FLEET_ARRIVAL_SEED = 53
+FLEET_RATE_RPS = 6e3  # per (region, tenant) stream
+FLEET_POOL_SIZE = 4
+FLEET_RTT_S = 0.01
+FLEET_OUTAGE_ONSET = 0.4  # fraction of the horizon
+FLEET_OUTAGE_SPAN = 0.3  # fraction of the horizon
+FLEET_STREAMS: tuple[tuple[str, str], ...] = (
+    ("east", "interactive"),
+    ("east", "batch"),
+    ("west", "interactive"),
+    ("west", "batch"),
+)
+
+
+def compute_fleet_failover_trace() -> dict[str, np.ndarray]:
+    """One deterministic two-region failover trace end to end.
+
+    The fixture pins the PR 8 fleet runtime's complete observable
+    surface on the canonical failover scenario — a severe mid-run
+    TIA-droop outage in the east region under geo-affinity routing:
+    every routing decision, the failover window and its measured
+    recovery latency, the per-stream latency arrays (RTT legs
+    included), and the global and per-region percentiles.
+    """
+    tenants = (
+        ClusterTenant(
+            "interactive",
+            tuple(lenet5_conv_specs()),
+            BatchingPolicy.dynamic(4, 1e-4),
+            weight=2.0,
+        ),
+        ClusterTenant(
+            "batch",
+            tuple(lenet5_conv_specs()),
+            BatchingPolicy.fixed(8),
+        ),
+    )
+    arrival_s: dict[str, dict[str, np.ndarray]] = {"east": {}, "west": {}}
+    for position, (region, tenant) in enumerate(FLEET_STREAMS):
+        arrival_s[region][tenant] = poisson_arrivals(
+            FLEET_RATE_RPS,
+            FLEET_REQUESTS_PER_STREAM,
+            seed=FLEET_ARRIVAL_SEED + position,
+        )
+    horizon_s = max(
+        float(arrival_s[region][tenant][-1])
+        for region, tenant in FLEET_STREAMS
+    )
+    outage = FaultSchedule(
+        name="golden-fleet-outage",
+        events=tuple(
+            FaultEvent(
+                "tia_droop",
+                core,
+                FLEET_OUTAGE_ONSET * horizon_s,
+                0.9,
+                duration_s=FLEET_OUTAGE_SPAN * horizon_s,
+            )
+            for core in range(FLEET_POOL_SIZE)
+        ),
+    )
+    report = simulate_fleet_serving(
+        tenants,
+        (
+            RegionSpec("east", FLEET_POOL_SIZE, schedule=outage),
+            RegionSpec("west", FLEET_POOL_SIZE),
+        ),
+        arrival_s,
+        rtt_s=uniform_rtt(2, FLEET_RTT_S),
+    )
+    assert report.failovers, "the golden scenario must actually fail over"
+    record = report.failovers[0]
+    fixture: dict[str, np.ndarray] = {
+        "arrivals_sha256": input_digest(
+            np.concatenate(
+                [arrival_s[region][tenant] for region, tenant in FLEET_STREAMS]
+            )
+        ),
+        "failover_window_s": np.array([record.onset_s, record.until_s]),
+        "failover_latency_s": np.array(record.failover_latency_s),
+        "failover_rerouted": np.array(record.rerouted),
+        "global_percentiles_s": np.array(
+            [report.p50_s, report.p95_s, report.p99_s]
+        ),
+        "region_percentiles_s": np.array(
+            [
+                [outcome.p50_s, outcome.p95_s, outcome.p99_s]
+                for outcome in report.regions
+            ]
+        ),
+        "placement_efficiency": np.array(report.placement_efficiency),
+        "meta_requests_per_stream": np.array(FLEET_REQUESTS_PER_STREAM),
+        "meta_arrival_seed": np.array(FLEET_ARRIVAL_SEED),
+        "meta_rtt_s": np.array(FLEET_RTT_S),
+        "meta_pool_size": np.array(FLEET_POOL_SIZE),
+    }
+    for region, tenant in FLEET_STREAMS:
+        trace = report.trace(region, tenant)
+        prefix = f"{region}_{tenant}"
+        fixture[f"{prefix}_server_region"] = trace.server_region
+        fixture[f"{prefix}_served"] = trace.served
+        fixture[f"{prefix}_latency_s"] = trace.latency_s
+    return fixture
+
+
 def build_accelerator(mode: str) -> PCNNA:
     """The accelerator under golden test for one mode."""
     accelerator = PCNNA()
@@ -249,6 +362,14 @@ def main() -> None:
         f"wrote {traffic_path.relative_to(GOLDEN_DIR.parent.parent)} "
         f"({len(traffic['batch_sizes'])} batches, p99 "
         f"{traffic['percentiles_s'][2]:.3e} s)"
+    )
+    fleet = compute_fleet_failover_trace()
+    fleet_path = fixture_path("fleet", "failover")
+    np.savez_compressed(fleet_path, **fleet)
+    print(
+        f"wrote {fleet_path.relative_to(GOLDEN_DIR.parent.parent)} "
+        f"({int(fleet['failover_rerouted'])} rerouted, global p99 "
+        f"{fleet['global_percentiles_s'][2]:.3e} s)"
     )
 
 

@@ -229,3 +229,91 @@ class TestVectorizedTrafficGolden:
             assert sizes.max() == int(fixture["meta_max_batch"])
             assert len(sizes) < int(fixture["meta_requests"])
             assert np.all(np.diff(fixture["batch_dispatch_s"]) >= 0.0)
+
+
+class TestFleetFailoverGolden:
+    """PR 8: the canonical two-region failover trace.
+
+    The fixture pins the fleet runtime's full observable surface on the
+    canonical mid-run-outage scenario — every routing decision, the
+    failover window and its recovery latency, the per-stream latency
+    arrays, and the global and per-region percentiles — so any change
+    to the global router, the outage-window derivation, the RTT
+    charging, or the back-mapping shows up as a bit difference.
+    """
+
+    SCALAR_KEYS = (
+        "failover_window_s",
+        "failover_latency_s",
+        "failover_rerouted",
+        "global_percentiles_s",
+        "region_percentiles_s",
+        "placement_efficiency",
+    )
+
+    def test_failover_trace_matches_golden_fixture(self):
+        from golden.regenerate import (
+            FLEET_STREAMS,
+            compute_fleet_failover_trace,
+        )
+
+        path = fixture_path("fleet", "failover")
+        assert path.exists(), (
+            f"missing golden fixture {path}; run "
+            "`PYTHONPATH=src python tests/golden/regenerate.py`"
+        )
+        with np.load(path) as fixture:
+            trace = compute_fleet_failover_trace()
+            assert np.array_equal(
+                fixture["arrivals_sha256"], trace["arrivals_sha256"]
+            ), "the seeded arrival traces themselves drifted"
+            keys = list(self.SCALAR_KEYS)
+            for region, tenant in FLEET_STREAMS:
+                for field in ("server_region", "served", "latency_s"):
+                    keys.append(f"{region}_{tenant}_{field}")
+            for key in keys:
+                expected, actual = fixture[key], trace[key]
+                if expected.dtype.kind == "f":
+                    _assert_matches(f"fleet/failover/{key}", expected, actual)
+                else:
+                    assert np.array_equal(expected, actual), (
+                        f"fleet/failover/{key}: drift vs golden fixture; "
+                        "if intentional, regenerate with `PYTHONPATH=src "
+                        "python tests/golden/regenerate.py`"
+                    )
+
+    def test_failover_metadata_pins_the_scenario(self):
+        from golden import regenerate
+
+        with np.load(fixture_path("fleet", "failover")) as fixture:
+            assert (
+                int(fixture["meta_requests_per_stream"])
+                == regenerate.FLEET_REQUESTS_PER_STREAM
+            )
+            assert (
+                int(fixture["meta_arrival_seed"])
+                == regenerate.FLEET_ARRIVAL_SEED
+            )
+            assert float(fixture["meta_rtt_s"]) == regenerate.FLEET_RTT_S
+            assert (
+                int(fixture["meta_pool_size"]) == regenerate.FLEET_POOL_SIZE
+            )
+
+    def test_failover_fixture_genuinely_fails_over(self):
+        """Sanity: the scenario really diverts — the outage window is
+        finite and mid-run, east requests land on west inside it, and
+        diverted requests pay at least the RTT on top of service."""
+        with np.load(fixture_path("fleet", "failover")) as fixture:
+            onset, until = fixture["failover_window_s"]
+            assert 0.0 < onset < until < np.inf
+            assert int(fixture["failover_rerouted"]) > 0
+            assert float(fixture["failover_latency_s"]) > 0.0
+            diverted = fixture["east_interactive_server_region"] == 1
+            assert diverted.any() and not diverted.all()
+            rtt = float(fixture["meta_rtt_s"])
+            served = fixture["east_interactive_served"]
+            latency = fixture["east_interactive_latency_s"]
+            assert np.all(latency[diverted & served] >= rtt)
+            # The west region never diverts (it stays healthy).
+            assert np.all(fixture["west_interactive_server_region"] == 1)
+            assert np.all(fixture["west_batch_server_region"] == 1)

@@ -37,6 +37,14 @@ must be *bit-identical* to the retained reference event loop on every
 per-request and per-batch stream, conserve requests, and keep dispatch
 and completion times causal and monotone.
 
+PR 8 adds the planet-scale fleet runtime; over random (region count ×
+tenant mix × fault schedule × routing policy) draws the fleet must
+conserve the global offered load (``served + shed = offered`` per
+stream and globally), never route a request off its home region under
+geo-affinity while the home is healthy, keep every served latency
+finite and positive, and reproduce byte-identically under a fixed
+seed.
+
 All randomness is drawn through seeded ``default_rng`` streams from
 hypothesis-chosen seeds, so failures shrink and replay deterministically.
 """
@@ -62,6 +70,13 @@ from repro.core.faults import (
     FaultEvent,
     FaultSchedule,
     RecalibrationPolicy,
+)
+from repro.core.fleet import (
+    FLEET_ROUTING_KINDS,
+    FleetRuntime,
+    GlobalRoutingPolicy,
+    RegionSpec,
+    uniform_rtt,
 )
 from repro.core.serving import run_network_pipelined
 from repro.core.traffic import (
@@ -676,3 +691,134 @@ class TestKernelModeEquivalence:
         assert np.all(np.diff(report.dispatch_s) >= 0.0)
         assert np.all(np.diff(report.completion_s) >= 0.0)
         assert all(busy >= 0.0 for busy in report.core_busy_s)
+
+
+# --------------------------------------------------------------------------
+# PR 8: planet-scale fleet runtime
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def fleet_serving_case(draw, with_faults: bool = True):
+    """A random (regions × tenants × faults × routing) fleet problem."""
+    num_tenants = draw(st.integers(min_value=1, max_value=2))
+    tenants = [
+        draw(cluster_tenant_case(index)) for index in range(num_tenants)
+    ]
+    num_regions = draw(st.integers(min_value=1, max_value=3))
+    regions = []
+    for position in range(num_regions):
+        pool_size = draw(
+            st.integers(min_value=num_tenants, max_value=num_tenants + 2)
+        )
+        schedule = None
+        if with_faults:
+            events = draw(
+                st.lists(fault_event_case(pool_size), min_size=0, max_size=3)
+            )
+            if events:
+                schedule = FaultSchedule(
+                    name="hypothesis", events=tuple(events)
+                )
+        regions.append(
+            RegionSpec(f"region-{position}", pool_size, schedule=schedule)
+        )
+    arrival_s = {}
+    for position, region in enumerate(regions):
+        arrival_s[region.name] = {}
+        for tenant in tenants:
+            # Region 0 always offers tenant 0 so the fleet is non-empty;
+            # elsewhere streams drop out at random (idle regions).
+            if position > 0 or tenant is not tenants[0]:
+                if draw(st.booleans()):
+                    continue
+            seed = draw(st.integers(min_value=0, max_value=10_000))
+            count = draw(st.integers(min_value=5, max_value=60))
+            arrival_s[region.name][tenant.name] = poisson_arrivals(
+                count / _FAULT_HORIZON_S, count, seed=seed
+            )
+    routing = GlobalRoutingPolicy(
+        kind=draw(st.sampled_from(FLEET_ROUTING_KINDS))
+    )
+    rtt_s = draw(
+        st.sampled_from([None, 0.0, 1e-3, 5e-3])
+    )
+    if rtt_s is not None:
+        rtt_s = uniform_rtt(num_regions, rtt_s)
+    return tenants, regions, arrival_s, rtt_s, routing
+
+
+class TestFleetServingInvariants:
+    """Whatever the geography and faults, the fleet conserves and finishes."""
+
+    @given(case=fleet_serving_case())
+    @settings(max_examples=8, deadline=None)
+    def test_global_conservation_and_finiteness(self, case):
+        tenants, regions, arrival_s, rtt_s, routing = case
+        report = FleetRuntime(
+            tenants, regions, rtt_s=rtt_s, routing=routing
+        ).run(arrival_s)
+
+        offered = 0
+        for trace in report.traces:
+            stream = arrival_s[trace.home_region][trace.tenant]
+            offered += stream.size
+            # Conservation: served + shed = offered, stream by stream.
+            assert trace.num_offered == stream.size
+            assert trace.num_served + trace.num_shed == stream.size
+            assert np.array_equal(trace.offered_arrival_s, stream)
+            # Every request lands on a real region.
+            assert np.all(trace.server_region >= 0)
+            assert np.all(trace.server_region < len(regions))
+            # Served latencies are finite and positive; shed are NaN.
+            served = trace.latency_s[trace.served]
+            assert np.all(np.isfinite(served))
+            assert np.all(served > 0.0)
+            assert np.all(np.isnan(trace.latency_s[~trace.served]))
+        assert report.num_offered == offered
+        assert report.num_served + report.num_shed == offered
+        # Regional routed/served tallies close the same ledger.
+        assert (
+            sum(outcome.routed_in for outcome in report.regions) == offered
+        )
+        assert (
+            sum(outcome.num_served + outcome.num_shed
+                for outcome in report.regions)
+            == offered
+        )
+
+    @given(case=fleet_serving_case(with_faults=False))
+    @settings(max_examples=8, deadline=None)
+    def test_geo_affinity_never_leaks_when_healthy(self, case):
+        tenants, regions, arrival_s, rtt_s, _ = case
+        report = FleetRuntime(
+            tenants,
+            regions,
+            rtt_s=rtt_s,
+            routing=GlobalRoutingPolicy.geo_affinity(),
+        ).run(arrival_s)
+        assert report.num_remote == 0
+        for trace in report.traces:
+            assert np.all(trace.server_region == trace.home_index)
+        for outcome in report.regions:
+            assert outcome.remote_in == 0
+
+    @given(case=fleet_serving_case())
+    @settings(max_examples=5, deadline=None)
+    def test_byte_deterministic_under_identical_inputs(self, case):
+        tenants, regions, arrival_s, rtt_s, routing = case
+
+        def run():
+            return FleetRuntime(
+                tenants, regions, rtt_s=rtt_s, routing=routing
+            ).run(arrival_s)
+
+        first, second = run(), run()
+        assert first.failovers == second.failovers
+        assert first.autoscale_events == second.autoscale_events
+        for a, b in zip(first.traces, second.traces):
+            assert a.home_region == b.home_region
+            assert a.tenant == b.tenant
+            assert a.latency_s.tobytes() == b.latency_s.tobytes()
+            assert a.server_region.tobytes() == b.server_region.tobytes()
+            assert a.served.tobytes() == b.served.tobytes()
