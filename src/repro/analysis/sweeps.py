@@ -30,6 +30,10 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.adaptive import (
+    AdaptiveRecalibration,
+    simulate_adaptive_serving,
+)
 from repro.core.analytical import (
     full_system_time_s,
     microrings_filtered,
@@ -55,7 +59,9 @@ from repro.core.faults import (
     DegradedServingSimulator,
     FaultSchedule,
     RecalibrationPolicy,
+    simulate_degraded_serving,
 )
+from repro.nn.network import Network
 from repro.core.traffic import (
     BatchingPolicy,
     PipelineServiceModel,
@@ -617,6 +623,107 @@ def sweep_kernel_count(
                 optical_time_s=optical_core_time_s(swept_spec, cfg),
                 full_system_time_s=full_system_time_s(swept_spec, cfg),
                 rings=microrings_filtered(swept_spec),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class AdaptiveSweepPoint:
+    """One controller cell of an adaptive-recalibration sweep.
+
+    Attributes:
+        controller: the controller's (or static policy's) name, or
+            ``"none"`` for the no-recalibration baseline.
+        report: the full degraded/adaptive run for drill-down.
+    """
+
+    controller: str
+    report: DegradedServingReport
+
+    @property
+    def total_downtime_s(self) -> float:
+        """Recalibration downtime summed over the pipeline's cores."""
+        return float(sum(self.report.core_downtime_s))
+
+    def row(self) -> list[str]:
+        """The cell formatted for a comparison table."""
+        report = self.report
+        return [
+            self.controller,
+            f"{report.mean_accuracy_proxy:.4f}",
+            f"{min(report.availability):.4f}",
+            f"{report.latency_percentile_s(99.0) * 1e6:.1f}",
+            f"{self.total_downtime_s * 1e6:.0f}",
+            str(len(report.recalibrations)),
+        ]
+
+
+ADAPTIVE_SWEEP_HEADER = [
+    "controller",
+    "proxy mean",
+    "min avail",
+    "p99 (us)",
+    "downtime (us)",
+    "recals",
+]
+"""Column labels matching :meth:`AdaptiveSweepPoint.row`."""
+
+
+def sweep_adaptive_recalibration(
+    network: Network,
+    policy: BatchingPolicy,
+    schedule: FaultSchedule,
+    controllers: Sequence[AdaptiveRecalibration | RecalibrationPolicy | None],
+    arrival_s: np.ndarray,
+    num_cores: int,
+    config: PCNNAConfig | None = None,
+    clamp_cores: bool = False,
+) -> list[AdaptiveSweepPoint]:
+    """Compare recalibration controllers over one shared faulted trace.
+
+    Every cell serves the identical arrival trace under the identical
+    fault schedule, so accuracy-proxy, availability, and downtime
+    differences are attributable to the controller alone.  Cells accept
+    the static :class:`RecalibrationPolicy`, the adaptive
+    :class:`~repro.core.adaptive.AdaptiveRecalibration` controller, and
+    ``None`` (the no-recalibration baseline) side by side.
+
+    Raises:
+        ValueError: on an empty controller axis or a bad trace.
+    """
+    if not controllers:
+        raise ValueError("need at least one controller (or None)")
+    points = []
+    for controller in controllers:
+        if isinstance(controller, AdaptiveRecalibration):
+            report = simulate_adaptive_serving(
+                network,
+                arrival_s,
+                policy,
+                schedule,
+                num_cores,
+                controller=controller,
+                config=config,
+                clamp_cores=clamp_cores,
+            )
+        else:
+            report = simulate_degraded_serving(
+                network,
+                arrival_s,
+                policy,
+                schedule,
+                num_cores,
+                recalibration=controller,
+                config=config,
+                clamp_cores=clamp_cores,
+            )
+        points.append(
+            AdaptiveSweepPoint(
+                controller=(
+                    "none" if controller is None else controller.name
+                ),
+                report=report,
             )
         )
     return points

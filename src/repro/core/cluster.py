@@ -418,6 +418,8 @@ class _TenantLane:
         "raw",
         "n",
         "cap",
+        "admission",
+        "_burn",
         "policy",
         "ctx",
         "initial_width",
@@ -441,13 +443,23 @@ class _TenantLane:
         phys_cores: list[int],
         pool_size: int,
         config: PCNNAConfig | None,
+        admission=None,
     ) -> None:
         self.index = index
         self.spec = spec
         self.config = config
         self.raw = arrivals
         self.n = int(arrivals.size)
-        self.cap = spec.queue_cap
+        # An admission controller (repro.core.adaptive.BurnRateAdmission)
+        # owns the occupancy cap when supplied; its disabled setting with
+        # the tenant's own cap is decision-identical to the static path.
+        self.admission = admission
+        self.cap = (
+            admission.queue_cap if admission is not None else spec.queue_cap
+        )
+        self._burn = (
+            admission if admission is not None and admission.enabled else None
+        )
         self.policy = (
             spec.policy if self.cap is None else spec.policy.capped(self.cap)
         )
@@ -466,7 +478,7 @@ class _TenantLane:
         self.admitted_times = np.empty(self.n)
         self.admitted = 0
         self.ptr = 0
-        if self.cap is None:
+        if self.cap is None and self._burn is None:
             self.admitted_times[:] = arrivals
             self.admitted = self.n
             self.ptr = self.n
@@ -508,6 +520,36 @@ class _TenantLane:
         completed = self._cum_completed[done - 1] if done else 0
         return self.admitted - completed
 
+    def _recent_latencies(self, time_s: float) -> np.ndarray:
+        """Latencies of the burn window's completions before ``time_s``.
+
+        Only batches sealed before the judgment instant are visible —
+        the information an online admission controller actually has.
+        Pure read: the subtraction never feeds kernel state.
+        """
+        done = bisect.bisect_left(self._completion_times, time_s)
+        completed = self._cum_completed[done - 1] if done else 0
+        start = max(completed - self._burn.window, 0)
+        return (
+            self.ctx.completion_s[start:completed]
+            - self.admitted_times[start:completed]
+        )
+
+    def _admits(self, time_s: float) -> bool:
+        """Judge one arrival: occupancy cap first, then SLO burn rate.
+
+        With no admission controller (or a disabled one) this is the
+        static occupancy test with the identical short-circuit, which
+        keeps the cap-only path bit-identical.
+        """
+        if self.cap is not None and self._occupancy(time_s) >= self.cap:
+            return False
+        if self._burn is None:
+            return True
+        return not self._burn.sheds(
+            self._burn.burn_rate(self._recent_latencies(time_s))
+        )
+
     def plan(self) -> tuple[float, int] | None:
         """Seal the tenant's next batch, or ``None`` if it is done.
 
@@ -522,21 +564,19 @@ class _TenantLane:
         head = ctx.head
         while head >= self.admitted and self.ptr < self.n:
             # Empty queue: all completions are known, judge exactly.
-            if (
-                self.cap is None
-                or self._occupancy(self.raw[self.ptr]) < self.cap
-            ):
+            if self._admits(self.raw[self.ptr]):
                 self._admit()
             else:
                 self.shed.append(float(self.raw[self.ptr]))
                 self.ptr += 1
         if head >= self.admitted:
             return None  # every request judged and served
-        if self.cap is not None:
-            while (
-                self.ptr < self.n
-                and self._occupancy(self.raw[self.ptr]) < self.cap
-            ):
+        if self.cap is not None and self._burn is None:
+            # Early occupancy admits are safe (completions only lower
+            # occupancy); burn judgments can flip as batches seal, so
+            # with a burn controller every arrival waits for the commit
+            # (or the queue-empty loop above) that judges it exactly.
+            while self.ptr < self.n and self._admits(self.raw[self.ptr]):
                 self._admit()
         return plan_dispatch(
             self.admitted_times[: self.admitted],
@@ -574,10 +614,7 @@ class _TenantLane:
         batch — the committed batch's size was sealed at planning time.
         """
         while self.ptr < self.n and self.raw[self.ptr] <= dispatch:
-            if (
-                self.cap is None
-                or self._occupancy(self.raw[self.ptr]) < self.cap
-            ):
+            if self._admits(self.raw[self.ptr]):
                 self._admit()
             else:
                 self.shed.append(float(self.raw[self.ptr]))
@@ -720,10 +757,23 @@ class ClusterSimulator:
             tenant).
         routing: pool arbitration policy (weighted-fair by default).
         elastic: elastic core reallocation policy; ``None`` freezes the
-            initial allocation.
+            initial allocation.  Accepts the static
+            :class:`ElasticReallocation` or an adaptive
+            :class:`~repro.core.adaptive.PressureController` (anything
+            with a ``thresholds(peak_pressure)`` method).
         schedule: fault schedule over the *physical pool cores*;
             ``None`` keeps the pool pristine.
-        recalibration: online recalibration policy for degraded cores.
+        recalibration: online recalibration policy for degraded cores —
+            the static :class:`~repro.core.faults.RecalibrationPolicy`
+            or an adaptive
+            :class:`~repro.core.adaptive.AdaptiveRecalibration`
+            (anything with a ``decider()`` factory and a ``base``
+            policy).
+        admission: per-tenant admission controllers
+            (:class:`~repro.core.adaptive.BurnRateAdmission`), keyed by
+            tenant name; a tenant without an entry keeps its static
+            ``queue_cap``.  A controller owns its tenant's occupancy
+            cap (its ``queue_cap`` field replaces the tenant's).
         config: hardware configuration for partitioning and service
             times.
         probe_rings: rings in each pool core's accuracy-probe bank.
@@ -737,7 +787,8 @@ class ClusterSimulator:
 
     Raises:
         ValueError: on an empty or duplicated tenant set, a bad pool
-            size, or an unknown ``mode``.
+            size, an unknown ``mode``, or an admission key that names
+            no tenant.
     """
 
     def __init__(
@@ -751,6 +802,7 @@ class ClusterSimulator:
         config: PCNNAConfig | None = None,
         probe_rings: int = 8,
         mode: str = "auto",
+        admission: Mapping[str, object] | None = None,
     ) -> None:
         if not tenants:
             raise ValueError("need at least one tenant")
@@ -760,6 +812,13 @@ class ClusterSimulator:
         if mode not in KERNEL_MODES:
             raise ValueError(
                 f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
+            )
+        self.admission = dict(admission) if admission else {}
+        unknown = set(self.admission) - set(names)
+        if unknown:
+            raise ValueError(
+                f"admission keys {sorted(unknown)} name no tenant; have "
+                f"{names!r}"
             )
         self.tenants = tuple(tenants)
         self.pool_size = pool_size
@@ -787,6 +846,7 @@ class ClusterSimulator:
             and self.schedule is None
             and self.elastic is None
             and self.tenants[0].queue_cap is None
+            and not self.admission
         )
 
     def _tie_key(self, lane: _TenantLane) -> tuple:
@@ -814,11 +874,21 @@ class ClusterSimulator:
         pressures = {
             lane.index: lane.queue_depth(now) / lane.width for lane in active
         }
+        # An adaptive controller (duck-typed on `thresholds`) derives
+        # the barriers from the worst observed pressure; the static
+        # policy's constants pass through untouched.
+        thresholds = getattr(self.elastic, "thresholds", None)
+        if thresholds is None:
+            ratio = self.elastic.pressure_ratio
+            min_queue = self.elastic.min_queue
+        else:
+            peak = max(pressures.values(), default=0.0)
+            ratio, min_queue = thresholds(peak)
         growable = [
             lane
             for lane in active
             if lane.width < lane.spec.max_useful_cores
-            and lane.queue_depth(now) >= self.elastic.min_queue
+            and lane.queue_depth(now) >= min_queue
         ]
         if not growable:
             return
@@ -851,7 +921,7 @@ class ClusterSimulator:
             donors, key=lambda lane: (pressures[lane.index], lane.index)
         )
         if pressures[recipient.index] < (
-            self.elastic.pressure_ratio * max(pressures[donor.index], 1.0)
+            ratio * max(pressures[donor.index], 1.0)
         ):
             return
         core = donor.phys[-1]
@@ -901,6 +971,7 @@ class ClusterSimulator:
                 self._allocations[index],
                 self.pool_size,
                 self.config,
+                admission=self.admission.get(tenant.name),
             )
             for index, tenant in enumerate(self.tenants)
         ]
@@ -914,6 +985,14 @@ class ClusterSimulator:
         downtime = [0.0] * self.pool_size
         recalibrations: list[RecalibrationRecord] = []
         reallocations: list[ReallocationRecord] = []
+        # An adaptive recalibration policy (duck-typed on `decider`)
+        # gets one fresh decision engine per run.
+        decider = (
+            self.recalibration.decider()
+            if self.recalibration is not None
+            and hasattr(self.recalibration, "decider")
+            else None
+        )
         last_dispatch = 0.0
 
         while True:
@@ -936,7 +1015,9 @@ class ClusterSimulator:
             )
             last_dispatch = max(last_dispatch, dispatch)
             if health:
-                self._degrade(lane, dispatch, health, downtime, recalibrations)
+                self._degrade(
+                    lane, dispatch, health, downtime, recalibrations, decider
+                )
             lane.commit(dispatch, size)
             lane.proxies.append(
                 max(health[core].error for core in lane.phys)
@@ -1027,18 +1108,39 @@ class ClusterSimulator:
         health: dict[int, CoreHealthState],
         downtime: list[float],
         recalibrations: list[RecalibrationRecord],
+        decider=None,
     ) -> None:
-        """Advance the lane's physical cores and pay recalibration."""
+        """Advance the lane's physical cores and pay recalibration.
+
+        The trigger is the static threshold test, or — when an adaptive
+        policy supplied a ``decider`` — the EWMA controller's decision;
+        either way the calibration loop and the downtime arithmetic are
+        identical, which keeps the frozen controller bit-identical.
+        """
         for core in lane.phys:
             health[core].advance_to(dispatch)
         if self.recalibration is None:
             return
+        base = self.recalibration if decider is None else self.recalibration.base
         for stage, core in enumerate(lane.phys):
             state = health[core]
-            if not state.should_recalibrate(self.recalibration):
+            if decider is None:
+                fire = state.should_recalibrate(base)
+            else:
+                fire = decider.decide(
+                    state,
+                    dispatch,
+                    downtime[core],
+                    queued=(
+                        lane.queue_depth(dispatch)
+                        if decider.controller.pressure_hold is not None
+                        else None
+                    ),
+                )
+            if not fire:
                 continue
-            result = state.recalibrate(self.recalibration)
-            cost = self.recalibration.downtime_s(result.iterations)
+            result = state.recalibrate(base)
+            cost = base.downtime_s(result.iterations)
             lane.ctx.core_free[stage] = (
                 max(lane.ctx.core_free[stage], dispatch) + cost
             )
@@ -1050,8 +1152,7 @@ class ClusterSimulator:
                     iterations=result.iterations,
                     residual=state.error,
                     downtime_s=cost,
-                    restored=state.error
-                    <= self.recalibration.error_threshold,
+                    restored=state.error <= base.error_threshold,
                 )
             )
 
@@ -1066,12 +1167,16 @@ def simulate_cluster_serving(
     recalibration: RecalibrationPolicy | None = None,
     config: PCNNAConfig | None = None,
     mode: str = "auto",
+    admission: Mapping[str, object] | None = None,
 ) -> ClusterReport:
     """One-call multi-tenant cluster simulation.
 
     The cluster sibling of :func:`~repro.core.traffic.simulate_serving`
     and :func:`~repro.core.faults.simulate_degraded_serving`: builds the
-    :class:`ClusterSimulator` and serves every tenant's trace.
+    :class:`ClusterSimulator` and serves every tenant's trace.  The
+    ``elastic``, ``recalibration``, and ``admission`` arguments accept
+    the adaptive controllers of :mod:`repro.core.adaptive` alongside
+    the static policies.
 
     Raises:
         ValueError: on an invalid tenant set, pool size, mode, or trace.
@@ -1085,6 +1190,7 @@ def simulate_cluster_serving(
         recalibration=recalibration,
         config=config,
         mode=mode,
+        admission=admission,
     )
     return simulator.run(arrival_s)
 

@@ -747,6 +747,20 @@ class FaultPlugin(KernelPlugin):
         self.recalibrations = []
         self.repartitions = []
 
+    def _should_recalibrate(
+        self, ctx: DispatchContext, state: CoreHealthState, dispatch_s: float
+    ) -> bool:
+        """The recalibration trigger decision for one core, one instant.
+
+        The static policy's threshold test, factored out so the adaptive
+        control plane (:mod:`repro.core.adaptive`) can substitute a
+        telemetry-driven decision.  Whatever the trigger decides, the
+        recalibration *arithmetic* (the calibration loop, the downtime
+        charged into ``core_free``) is shared — which is why a frozen
+        adaptive trigger stays bit-identical to this one.
+        """
+        return state.should_recalibrate(self.recalibration)
+
     def on_dispatch_planned(
         self, ctx: DispatchContext, dispatch_s: float, size: int
     ) -> None:
@@ -763,7 +777,7 @@ class FaultPlugin(KernelPlugin):
         if self.recalibration is not None:
             for stage, core in enumerate(stage_to_core):
                 state = states[core]
-                if not state.should_recalibrate(self.recalibration):
+                if not self._should_recalibrate(ctx, state, dispatch_s):
                     continue
                 result = state.recalibrate(self.recalibration)
                 cost = self.recalibration.downtime_s(result.iterations)

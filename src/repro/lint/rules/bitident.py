@@ -37,6 +37,7 @@ REQUIRED_BIT_IDENTITY = (
     "repro/core/faults.py",
     "repro/core/cluster.py",
     "repro/core/fleet.py",
+    "repro/core/adaptive.py",
 )
 
 #: Order-sensitive fold entry points (``math.fsum`` is exempt: it is

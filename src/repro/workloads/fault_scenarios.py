@@ -29,6 +29,8 @@ FAULT_SCENARIOS: tuple[str, ...] = (
     "crosstalk-storm",
     "ring-death",
     "tia-aging",
+    "tia-burnin",
+    "crosstalk-blip",
     "mixed-degradation",
 )
 """Names accepted by :func:`fault_scenario`."""
@@ -127,6 +129,43 @@ def fault_scenario(
                     duration_s=horizon_s,
                 )
                 for core in cores
+            ),
+        )
+    elif name == "tia-burnin":
+        # Deep, slow photodiode burn-in: the droop keeps progressing
+        # well past the nominal horizon, so the error curve stays in
+        # its decelerating early phase for the whole run — the regime
+        # where recalibrating early (at a lower starting error) costs
+        # fewer feedback iterations than waiting for the threshold.
+        schedule = FaultSchedule(
+            name=name,
+            events=tuple(
+                FaultEvent(
+                    kind="tia_droop",
+                    core=core,
+                    onset_s=0.0,
+                    magnitude=0.3,
+                    duration_s=3.0 * horizon_s,
+                )
+                for core in cores
+            ),
+        )
+    elif name == "crosstalk-blip":
+        # One short crosstalk excursion on one core — a transient that
+        # reverts on its own.  Threshold-triggered recalibration fires
+        # on the excursion and again on the stale compensation it
+        # leaves behind once the coupling reverts; a smoothed estimator
+        # rides the blip out.
+        schedule = FaultSchedule(
+            name=name,
+            events=(
+                FaultEvent(
+                    kind="crosstalk",
+                    core=0,
+                    onset_s=0.35 * horizon_s,
+                    magnitude=0.15,
+                    duration_s=horizon_s / 48.0,
+                ),
             ),
         )
     elif name == "mixed-degradation":

@@ -21,6 +21,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.core.adaptive import (
+    DECISION_ACTIONS,
+    AdaptiveRecalibration,
+    simulate_adaptive_serving,
+)
 from repro.core.faults import (
     FaultEvent,
     FaultSchedule,
@@ -41,6 +46,7 @@ from repro.core.traffic import (
 )
 from repro.nn.layers import Conv2D
 from repro.workloads import (
+    fault_scenario,
     lenet5_conv_specs,
     poisson_arrivals,
     serving_batch,
@@ -287,6 +293,72 @@ def compute_fleet_failover_trace() -> dict[str, np.ndarray]:
     return fixture
 
 
+# -- canonical adaptive-recalibration trace (PR 9) ------------------------
+ADAPTIVE_REQUESTS = 96
+ADAPTIVE_ARRIVAL_SEED = 11
+ADAPTIVE_ARRIVAL_RATE_RPS = 2e4
+ADAPTIVE_CORES = 2
+ADAPTIVE_FAULT = "tia-aging"
+ADAPTIVE_SMOOTHING = 0.45
+ADAPTIVE_LEAD_FRACTION = 0.08  # lead time as a fraction of the horizon
+ADAPTIVE_ERROR_THRESHOLD = 0.05
+
+
+def compute_adaptive_recal_trace() -> dict[str, np.ndarray]:
+    """One deterministic EWMA-controlled serving trace end to end.
+
+    The fixture pins the PR 9 adaptive control plane's observable
+    surface on the canonical drifting-LeNet scenario: the controller's
+    complete decision log (instants, cores, actions, raw/smoothed/
+    projected errors), the per-batch accuracy proxy it steered, the
+    downtime it spent, and the latency percentiles of the run it shaped.
+    """
+    network = serving_network("lenet5", seed=WEIGHT_SEED)
+    arrivals = poisson_arrivals(
+        ADAPTIVE_ARRIVAL_RATE_RPS, ADAPTIVE_REQUESTS, seed=ADAPTIVE_ARRIVAL_SEED
+    )
+    horizon_s = float(arrivals[-1])
+    controller = AdaptiveRecalibration(
+        base=RecalibrationPolicy(error_threshold=ADAPTIVE_ERROR_THRESHOLD),
+        smoothing=ADAPTIVE_SMOOTHING,
+        lead_time_s=ADAPTIVE_LEAD_FRACTION * horizon_s,
+    )
+    report = simulate_adaptive_serving(
+        network,
+        arrivals,
+        BatchingPolicy.dynamic(4, 1e-4),
+        fault_scenario(ADAPTIVE_FAULT, ADAPTIVE_CORES, horizon_s),
+        ADAPTIVE_CORES,
+        controller=controller,
+    )
+    decisions = report.decisions
+    return {
+        "arrivals_sha256": input_digest(arrivals),
+        "dispatch_s": report.dispatch_s,
+        "completion_s": report.completion_s,
+        "batch_sizes": np.array([b.size for b in report.batches]),
+        "accuracy_proxy": report.accuracy_proxy,
+        "core_downtime_s": np.array(report.core_downtime_s),
+        "decision_time_s": np.array([d.time_s for d in decisions]),
+        "decision_core": np.array([d.core for d in decisions]),
+        "decision_action": np.array(
+            [DECISION_ACTIONS.index(d.action) for d in decisions]
+        ),
+        "decision_error": np.array([d.error for d in decisions]),
+        "decision_smoothed": np.array([d.smoothed for d in decisions]),
+        "decision_projected": np.array([d.projected for d in decisions]),
+        "num_recalibrations": np.array(len(report.recalibrations)),
+        "percentiles_s": np.array([report.p50_s, report.p95_s, report.p99_s]),
+        "meta_requests": np.array(ADAPTIVE_REQUESTS),
+        "meta_arrival_seed": np.array(ADAPTIVE_ARRIVAL_SEED),
+        "meta_weight_seed": np.array(WEIGHT_SEED),
+        "meta_cores": np.array(ADAPTIVE_CORES),
+        "meta_smoothing": np.array(ADAPTIVE_SMOOTHING),
+        "meta_lead_fraction": np.array(ADAPTIVE_LEAD_FRACTION),
+        "meta_error_threshold": np.array(ADAPTIVE_ERROR_THRESHOLD),
+    }
+
+
 def build_accelerator(mode: str) -> PCNNA:
     """The accelerator under golden test for one mode."""
     accelerator = PCNNA()
@@ -370,6 +442,14 @@ def main() -> None:
         f"wrote {fleet_path.relative_to(GOLDEN_DIR.parent.parent)} "
         f"({int(fleet['failover_rerouted'])} rerouted, global p99 "
         f"{fleet['global_percentiles_s'][2]:.3e} s)"
+    )
+    adaptive = compute_adaptive_recal_trace()
+    adaptive_path = fixture_path("adaptive", "recal")
+    np.savez_compressed(adaptive_path, **adaptive)
+    print(
+        f"wrote {adaptive_path.relative_to(GOLDEN_DIR.parent.parent)} "
+        f"({len(adaptive['decision_time_s'])} decisions, "
+        f"{int(adaptive['num_recalibrations'])} recals)"
     )
 
 

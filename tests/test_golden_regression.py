@@ -317,3 +317,89 @@ class TestFleetFailoverGolden:
             # The west region never diverts (it stays healthy).
             assert np.all(fixture["west_interactive_server_region"] == 1)
             assert np.all(fixture["west_batch_server_region"] == 1)
+
+
+class TestAdaptiveRecalGolden:
+    """PR 9: the canonical EWMA-controlled drifting-LeNet trace.
+
+    The fixture pins the adaptive control plane's observable surface —
+    the controller's complete decision log, the accuracy proxy it
+    steered, the downtime it spent, and the latency percentiles of the
+    run it shaped — so any change to the EWMA estimator, the gate
+    ordering, or the decision bookkeeping shows up as a bit difference.
+    """
+
+    FIXTURE_KEYS = (
+        "dispatch_s",
+        "completion_s",
+        "batch_sizes",
+        "accuracy_proxy",
+        "core_downtime_s",
+        "decision_time_s",
+        "decision_core",
+        "decision_action",
+        "decision_error",
+        "decision_smoothed",
+        "decision_projected",
+        "num_recalibrations",
+        "percentiles_s",
+    )
+
+    def test_adaptive_trace_matches_golden_fixture(self):
+        from golden.regenerate import compute_adaptive_recal_trace
+
+        path = fixture_path("adaptive", "recal")
+        assert path.exists(), (
+            f"missing golden fixture {path}; run "
+            "`PYTHONPATH=src python tests/golden/regenerate.py`"
+        )
+        with np.load(path) as fixture:
+            trace = compute_adaptive_recal_trace()
+            assert np.array_equal(
+                fixture["arrivals_sha256"], trace["arrivals_sha256"]
+            ), "the seeded arrival trace itself drifted"
+            for key in self.FIXTURE_KEYS:
+                _assert_matches(
+                    f"adaptive/recal/{key}", fixture[key], trace[key]
+                )
+
+    def test_adaptive_metadata_pins_the_scenario(self):
+        from golden import regenerate
+
+        with np.load(fixture_path("adaptive", "recal")) as fixture:
+            assert (
+                int(fixture["meta_requests"]) == regenerate.ADAPTIVE_REQUESTS
+            )
+            assert (
+                int(fixture["meta_arrival_seed"])
+                == regenerate.ADAPTIVE_ARRIVAL_SEED
+            )
+            assert int(fixture["meta_weight_seed"]) == regenerate.WEIGHT_SEED
+            assert int(fixture["meta_cores"]) == regenerate.ADAPTIVE_CORES
+            assert (
+                float(fixture["meta_smoothing"])
+                == regenerate.ADAPTIVE_SMOOTHING
+            )
+            assert (
+                float(fixture["meta_lead_fraction"])
+                == regenerate.ADAPTIVE_LEAD_FRACTION
+            )
+            assert (
+                float(fixture["meta_error_threshold"])
+                == regenerate.ADAPTIVE_ERROR_THRESHOLD
+            )
+
+    def test_adaptive_fixture_genuinely_controls(self):
+        """Sanity: the controller really steered — decisions fired,
+        every firing bought downtime, and the smoothed estimate the
+        gates consumed genuinely differs from the raw error (the EWMA
+        is not a pass-through at the capture settings)."""
+        with np.load(fixture_path("adaptive", "recal")) as fixture:
+            assert len(fixture["decision_time_s"]) > 0
+            assert int(fixture["num_recalibrations"]) > 0
+            assert fixture["core_downtime_s"].sum() > 0.0
+            times = fixture["decision_time_s"]
+            assert np.all(np.diff(times) >= 0.0)
+            assert not np.array_equal(
+                fixture["decision_smoothed"], fixture["decision_error"]
+            )

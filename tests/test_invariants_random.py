@@ -45,6 +45,13 @@ geo-affinity while the home is healthy, keep every served latency
 finite and positive, and reproduce byte-identically under a fixed
 seed.
 
+PR 9 adds the adaptive control plane; over random (controller gain ×
+fault schedule × tenant mix) draws, runs driven by EWMA recalibration,
+burn-rate admission, and pressure-scaled reallocation must still
+conserve every tenant's offered load, never leak requests across
+tenants, keep latencies finite and causal, reproduce byte-identically
+under identical inputs, and log a deterministic decision stream.
+
 All randomness is drawn through seeded ``default_rng`` streams from
 hypothesis-chosen seeds, so failures shrink and replay deterministically.
 """
@@ -57,6 +64,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.accelerator import PCNNA, PhotonicConvolution
+from repro.core.adaptive import (
+    DECISION_ACTIONS,
+    AdaptiveRecalibration,
+    BurnRateAdmission,
+    PressureController,
+    simulate_adaptive_serving,
+)
 from repro.core.cluster import (
     ClusterSimulator,
     ClusterTenant,
@@ -102,6 +116,7 @@ from repro.workloads import (
     lenet5_conv_specs,
     make_arrivals,
     poisson_arrivals,
+    serving_network,
 )
 
 
@@ -822,3 +837,215 @@ class TestFleetServingInvariants:
             assert a.latency_s.tobytes() == b.latency_s.tobytes()
             assert a.server_region.tobytes() == b.server_region.tobytes()
             assert a.served.tobytes() == b.served.tobytes()
+
+
+# --------------------------------------------------------------------------
+# PR 9: adaptive control plane
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def adaptive_controller_case(draw):
+    """One random (valid) EWMA recalibration controller."""
+    base = RecalibrationPolicy(
+        error_threshold=draw(st.floats(min_value=0.02, max_value=0.2))
+    )
+    return AdaptiveRecalibration(
+        base=base,
+        smoothing=draw(st.floats(min_value=0.05, max_value=1.0)),
+        lead_time_s=draw(st.sampled_from([0.0, 0.005, 0.02])),
+        pressure_hold=draw(st.one_of(st.none(), st.integers(1, 8))),
+        downtime_budget_s=draw(st.sampled_from([math.inf, 1e-3, 1e-2])),
+    )
+
+
+@st.composite
+def adaptive_cluster_case(draw):
+    """A random cluster problem driven end to end by adaptive policies."""
+    num_tenants = draw(st.integers(min_value=1, max_value=3))
+    tenants = [
+        draw(cluster_tenant_case(index)) for index in range(num_tenants)
+    ]
+    pool_size = draw(
+        st.integers(min_value=num_tenants, max_value=num_tenants + 3)
+    )
+    arrivals = {}
+    admission = {}
+    for tenant in tenants:
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        count = draw(st.integers(min_value=5, max_value=60))
+        arrivals[tenant.name] = poisson_arrivals(
+            count / _FAULT_HORIZON_S, count, seed=seed
+        )
+        choice = draw(st.sampled_from(["none", "disabled", "burn"]))
+        if choice == "disabled":
+            admission[tenant.name] = BurnRateAdmission.disabled(
+                queue_cap=tenant.queue_cap
+            )
+        elif choice == "burn":
+            admission[tenant.name] = BurnRateAdmission(
+                slo_latency_s=draw(
+                    st.floats(min_value=1e-5, max_value=1e-2)
+                ),
+                max_burn_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+                window=draw(st.integers(min_value=1, max_value=32)),
+                queue_cap=tenant.queue_cap,
+            )
+    events = draw(
+        st.lists(fault_event_case(pool_size), min_size=0, max_size=4)
+    )
+    schedule = (
+        FaultSchedule(name="hypothesis", events=tuple(events))
+        if events
+        else None
+    )
+    elastic = draw(
+        st.sampled_from(
+            [
+                None,
+                ElasticReallocation(min_queue=8),
+                PressureController(
+                    base=ElasticReallocation(min_queue=8), gain=0.5
+                ),
+                PressureController.inert(ElasticReallocation(min_queue=8)),
+            ]
+        )
+    )
+    recalibration = draw(
+        st.one_of(st.none(), adaptive_controller_case())
+    )
+    return tenants, pool_size, arrivals, schedule, elastic, recalibration, admission
+
+
+class TestAdaptiveClusterInvariants:
+    """Whatever the controllers decide, the ledgers must still close."""
+
+    @given(case=adaptive_cluster_case())
+    @settings(max_examples=10, deadline=None)
+    def test_conservation_isolation_and_finiteness(self, case):
+        tenants, pool, arrivals, schedule, elastic, recal, admission = case
+        report = ClusterSimulator(
+            tenants,
+            pool,
+            elastic=elastic,
+            schedule=schedule,
+            recalibration=recal,
+            admission=admission,
+        ).run(arrivals)
+
+        for tenant in tenants:
+            sub = report.tenant(tenant.name)
+            offered = arrivals[tenant.name]
+            assert sub.num_requests + sub.num_shed == offered.size
+            assert sum(batch.size for batch in sub.batches) == sub.num_requests
+            # No cross-tenant leakage: served and shed partition the
+            # tenant's own trace exactly.
+            merged = np.sort(
+                np.concatenate([sub.arrival_s, sub.shed_arrival_s])
+            )
+            assert np.array_equal(merged, offered)
+            assert np.all(np.isfinite(sub.completion_s))
+            assert np.all(sub.dispatch_s >= sub.arrival_s)
+            assert np.all(sub.completion_s > sub.dispatch_s)
+            assert np.all(sub.latencies_s > 0.0)
+            assert np.all(np.isfinite(sub.accuracy_proxy))
+        assert report.num_served + report.num_shed == report.num_offered
+        assert all(
+            0.0 <= downtime < math.inf for downtime in report.core_downtime_s
+        )
+        if recal is not None and math.isfinite(recal.downtime_budget_s):
+            # The budget gate: one recalibration may straddle the line,
+            # never more.
+            worst = recal.base.downtime_s(recal.base.max_iterations)
+            assert all(
+                downtime <= recal.downtime_budget_s + worst
+                for downtime in report.core_downtime_s
+            )
+
+    @given(case=adaptive_cluster_case())
+    @settings(max_examples=6, deadline=None)
+    def test_byte_deterministic_under_identical_inputs(self, case):
+        tenants, pool, arrivals, schedule, elastic, recal, admission = case
+
+        def run():
+            return ClusterSimulator(
+                tenants,
+                pool,
+                elastic=elastic,
+                schedule=schedule,
+                recalibration=recal,
+                admission=admission,
+            ).run(arrivals)
+
+        first, second = run(), run()
+        assert first.reallocations == second.reallocations
+        assert first.recalibrations == second.recalibrations
+        for tenant in tenants:
+            a, b = first.tenant(tenant.name), second.tenant(tenant.name)
+            assert a.completion_s.tobytes() == b.completion_s.tobytes()
+            assert a.shed_arrival_s.tobytes() == b.shed_arrival_s.tobytes()
+            assert a.accuracy_proxy.tobytes() == b.accuracy_proxy.tobytes()
+            assert a.batches == b.batches
+
+
+@st.composite
+def adaptive_serving_case(draw):
+    """A random single-engine adaptive serving problem."""
+    num_cores = draw(st.integers(min_value=1, max_value=3))
+    events = draw(
+        st.lists(fault_event_case(num_cores), min_size=0, max_size=4)
+    )
+    schedule = FaultSchedule(name="hypothesis", events=tuple(events))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_requests = draw(st.integers(min_value=1, max_value=120))
+    arrivals = poisson_arrivals(
+        num_requests / _FAULT_HORIZON_S, num_requests, seed=seed
+    )
+    policy = draw(
+        st.sampled_from(
+            [BatchingPolicy.fifo(), BatchingPolicy.dynamic(8, 1e-3)]
+        )
+    )
+    controller = draw(adaptive_controller_case())
+    return schedule, num_cores, arrivals, policy, controller
+
+
+class TestAdaptiveServingInvariants:
+    @given(case=adaptive_serving_case())
+    @settings(max_examples=10, deadline=None)
+    def test_decision_stream_deterministic_and_well_formed(self, case):
+        schedule, num_cores, arrivals, policy, controller = case
+        network = serving_network("lenet5")
+
+        def run():
+            return simulate_adaptive_serving(
+                network,
+                arrivals,
+                policy,
+                schedule,
+                num_cores,
+                controller=controller,
+                clamp_cores=True,
+            )
+
+        first, second = run(), run()
+        # The run is conserved, causal, and finite.
+        assert first.num_requests == arrivals.size
+        assert np.all(np.isfinite(first.completion_s))
+        assert np.all(first.dispatch_s >= first.arrival_s)
+        assert np.all(first.completion_s > first.dispatch_s)
+        # The decision log is deterministic and well formed.
+        assert first.decisions == second.decisions
+        assert first.completion_s.tobytes() == second.completion_s.tobytes()
+        assert first.accuracy_proxy.tobytes() == second.accuracy_proxy.tobytes()
+        times = [d.time_s for d in first.decisions]
+        assert times == sorted(times)
+        for decision in first.decisions:
+            assert decision.action in DECISION_ACTIONS
+            assert 0 <= decision.core < num_cores
+            assert math.isfinite(decision.error)
+            assert math.isfinite(decision.smoothed)
+            assert math.isfinite(decision.projected)
+        assert first.num_deferrals == sum(
+            1 for d in first.decisions if d.action != "recalibrate"
+        )
