@@ -203,3 +203,33 @@ def test_default_dominance_grid():
     )
     if PERF_GATED:
         assert grid_s <= GRID_CEILING_S
+
+
+def test_dominance_grid_workers_byte_identical():
+    """``workers=2`` smoke for the parallel grid executor: a reduced
+    dominance grid fanned over two processes must reproduce the serial
+    run byte-for-byte — same outcomes, same wins, same Pareto fronts.
+    Asserted unconditionally (determinism, not wall time)."""
+    scenarios = default_scenarios(num_requests=150, rate_rps=2000.0)
+    policies = default_policy_grid(scenarios)
+    serial = evaluate_dominance(scenarios, policies)
+    fanned = evaluate_dominance(scenarios, policies, workers=2)
+
+    assert fanned.wins == serial.wins
+    assert dict(fanned.fronts) == dict(serial.fronts)
+    for a, b in zip(serial.outcomes, fanned.outcomes):
+        assert a.scenario == b.scenario
+        assert a.policy == b.policy
+        assert a.availability == b.availability
+        assert a.accuracy_error == b.accuracy_error
+        assert a.p99_latency_s == b.p99_latency_s
+        assert a.downtime_s == b.downtime_s
+        assert (a.served, a.offered, a.shed) == (b.served, b.offered, b.shed)
+        for r, v in zip(a.report.tenants, b.report.tenants):
+            assert r.arrival_s.tobytes() == v.arrival_s.tobytes()
+            assert r.completion_s.tobytes() == v.completion_s.tobytes()
+            assert tuple(r.batches) == tuple(v.batches)
+    emit(
+        f"dominance grid workers=2: {len(serial.outcomes)} cells "
+        f"byte-identical to serial"
+    )

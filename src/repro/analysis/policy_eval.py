@@ -40,6 +40,7 @@ from repro.core.cluster import (
 )
 from repro.core.config import PCNNAConfig
 from repro.core.faults import RecalibrationPolicy
+from repro.analysis.parallel import run_grid
 from repro.workloads.cluster_mixes import CLUSTER_MIXES, cluster_mix
 from repro.workloads.fault_scenarios import FAULT_SCENARIOS, fault_scenario
 
@@ -274,17 +275,35 @@ def evaluate_policy(
     return _score(scenario, policy, report)
 
 
+def _policy_grid_cell(
+    args: tuple[EvalScenario, PolicySpec, PCNNAConfig | None],
+) -> PolicyOutcome:
+    """One (scenario, policy) cell of :func:`evaluate_policy_grid`.
+
+    Module-level (hence picklable) so
+    :func:`~repro.analysis.parallel.run_grid` can ship it to
+    spawn-started workers; the cell carries everything it needs.
+    """
+    scenario, policy, config = args
+    return evaluate_policy(scenario, policy, config)
+
+
 def evaluate_policy_grid(
     scenarios: Sequence[EvalScenario],
     policies: Sequence[PolicySpec],
     config: PCNNAConfig | None = None,
+    workers: int = 1,
 ) -> list[PolicyOutcome]:
     """Score every scenario x policy cell of the grid.
 
+    Cells are independent pure functions of their specs, so they fan
+    out over ``workers`` processes with byte-identical results merged
+    in cell order (scenarios outer, policies inner — the serial order).
+
     Raises:
-        ValueError: on an empty scenario suite or policy grid, or on
-            duplicate policy names (dominance lookups need them
-            unique).
+        ValueError: on an empty scenario suite or policy grid, a bad
+            worker count, or duplicate policy names (dominance lookups
+            need them unique).
     """
     if not scenarios:
         raise ValueError("need at least one scenario")
@@ -300,11 +319,15 @@ def evaluate_policy_grid(
                 f"policy {policy.name!r} names unknown baseline "
                 f"{policy.baseline!r}"
             )
-    return [
-        evaluate_policy(scenario, policy, config)
-        for scenario in scenarios
-        for policy in policies
-    ]
+    return run_grid(
+        _policy_grid_cell,
+        [
+            (scenario, policy, config)
+            for scenario in scenarios
+            for policy in policies
+        ],
+        workers=workers,
+    )
 
 
 def pareto_front(
@@ -418,10 +441,15 @@ def evaluate_dominance(
     scenarios: Sequence[EvalScenario],
     policies: Sequence[PolicySpec],
     config: PCNNAConfig | None = None,
+    workers: int = 1,
 ) -> DominanceReport:
-    """Score the grid and fold it into a :class:`DominanceReport`."""
+    """Score the grid and fold it into a :class:`DominanceReport`.
+
+    ``workers`` fans the grid cells over processes; the folded report
+    is byte-identical to serial (see :func:`evaluate_policy_grid`).
+    """
     return DominanceReport.from_outcomes(
-        evaluate_policy_grid(scenarios, policies, config)
+        evaluate_policy_grid(scenarios, policies, config, workers=workers)
     )
 
 

@@ -61,6 +61,7 @@ from repro.core.faults import (
     RecalibrationPolicy,
     simulate_degraded_serving,
 )
+from repro.analysis.parallel import run_grid
 from repro.nn.network import Network
 from repro.core.traffic import (
     BatchingPolicy,
@@ -440,6 +441,34 @@ CLUSTER_SWEEP_HEADER = [
 """Column labels matching :meth:`ClusterSweepPoint.rows`."""
 
 
+def _cluster_serving_cell(
+    args: tuple[
+        tuple[ClusterTenant, ...],
+        dict[str, np.ndarray],
+        int,
+        RoutingPolicy | None,
+        ElasticReallocation | None,
+        PCNNAConfig | None,
+    ],
+) -> ClusterSweepPoint:
+    """One pool-size cell of :func:`sweep_cluster_serving`.
+
+    Module-level (hence picklable) so :func:`run_grid` can ship it to
+    spawn-started workers; the cell carries everything it needs.
+    """
+    tenants, arrival_s, pool_size, routing, elastic, config = args
+    simulator = ClusterSimulator(
+        tenants,
+        pool_size,
+        routing=routing,
+        elastic=elastic,
+        config=config,
+    )
+    return ClusterSweepPoint(
+        pool_size=pool_size, report=simulator.run(arrival_s)
+    )
+
+
 def sweep_cluster_serving(
     tenants: Sequence[ClusterTenant],
     arrival_s: Mapping[str, np.ndarray],
@@ -447,6 +476,7 @@ def sweep_cluster_serving(
     routing: RoutingPolicy | None = None,
     elastic: ElasticReallocation | None = None,
     config: PCNNAConfig | None = None,
+    workers: int = 1,
 ) -> list[ClusterSweepPoint]:
     """Simulate one tenant mix over a range of pool sizes.
 
@@ -462,31 +492,29 @@ def sweep_cluster_serving(
         routing: pool arbitration policy for every cell.
         elastic: elastic reallocation policy for every cell.
         config: hardware configuration.
+        workers: worker processes for the cells; byte-identical to the
+            serial result for every count (see
+            :func:`repro.analysis.parallel.run_grid`).
 
     Returns:
         One :class:`ClusterSweepPoint` per pool size, in order.
 
     Raises:
-        ValueError: on an empty pool-size list or invalid cluster
-            arguments.
+        ValueError: on an empty pool-size list, a bad worker count, or
+            invalid cluster arguments.
     """
     if not pool_sizes:
         raise ValueError("need at least one pool size")
-    points = []
-    for pool_size in pool_sizes:
-        simulator = ClusterSimulator(
-            tenants,
-            pool_size,
-            routing=routing,
-            elastic=elastic,
-            config=config,
-        )
-        points.append(
-            ClusterSweepPoint(
-                pool_size=pool_size, report=simulator.run(arrival_s)
-            )
-        )
-    return points
+    frozen_tenants = tuple(tenants)
+    traces = dict(arrival_s)
+    return run_grid(
+        _cluster_serving_cell,
+        [
+            (frozen_tenants, traces, pool_size, routing, elastic, config)
+            for pool_size in pool_sizes
+        ],
+        workers=workers,
+    )
 
 
 @dataclass(frozen=True)
@@ -553,6 +581,34 @@ FLEET_SWEEP_HEADER = [
 """Column labels matching :meth:`FleetSweepPoint.rows`."""
 
 
+def _fleet_serving_cell(
+    args: tuple[
+        tuple[ClusterTenant, ...],
+        tuple[RegionSpec, ...],
+        dict[str, dict[str, np.ndarray]],
+        GlobalRoutingPolicy,
+        np.ndarray | None,
+        FleetAutoscaler | None,
+        PCNNAConfig | None,
+    ],
+) -> FleetSweepPoint:
+    """One routing-policy cell of :func:`sweep_fleet_serving`.
+
+    Module-level (hence picklable) so :func:`run_grid` can ship it to
+    spawn-started workers; the cell carries everything it needs.
+    """
+    tenants, regions, arrival_s, routing, rtt_s, autoscaler, config = args
+    runtime = FleetRuntime(
+        tenants,
+        regions,
+        rtt_s=rtt_s,
+        routing=routing,
+        autoscaler=autoscaler,
+        config=config,
+    )
+    return FleetSweepPoint(routing=routing.kind, report=runtime.run(arrival_s))
+
+
 def sweep_fleet_serving(
     tenants: Sequence[ClusterTenant],
     regions: Sequence[RegionSpec],
@@ -561,6 +617,7 @@ def sweep_fleet_serving(
     rtt_s: np.ndarray | None = None,
     autoscaler: FleetAutoscaler | None = None,
     config: PCNNAConfig | None = None,
+    workers: int = 1,
 ) -> list[FleetSweepPoint]:
     """Simulate one multi-region offered load under each routing policy.
 
@@ -577,32 +634,40 @@ def sweep_fleet_serving(
         rtt_s: inter-region RTT matrix shared by every cell.
         autoscaler: pool autoscaler shared by every cell.
         config: hardware configuration.
+        workers: worker processes for the cells; byte-identical to the
+            serial result for every count (see
+            :func:`repro.analysis.parallel.run_grid`).
 
     Returns:
         One :class:`FleetSweepPoint` per routing policy, in order.
 
     Raises:
-        ValueError: on an empty routing list or invalid fleet
-            arguments.
+        ValueError: on an empty routing list, a bad worker count, or
+            invalid fleet arguments.
     """
     if not routings:
         raise ValueError("need at least one global routing policy")
-    points = []
-    for routing in routings:
-        runtime = FleetRuntime(
-            tenants,
-            regions,
-            rtt_s=rtt_s,
-            routing=routing,
-            autoscaler=autoscaler,
-            config=config,
-        )
-        points.append(
-            FleetSweepPoint(
-                routing=routing.kind, report=runtime.run(arrival_s)
+    frozen_tenants = tuple(tenants)
+    frozen_regions = tuple(regions)
+    traces = {
+        region: dict(per_tenant) for region, per_tenant in arrival_s.items()
+    }
+    return run_grid(
+        _fleet_serving_cell,
+        [
+            (
+                frozen_tenants,
+                frozen_regions,
+                traces,
+                routing,
+                rtt_s,
+                autoscaler,
+                config,
             )
-        )
-    return points
+            for routing in routings
+        ],
+        workers=workers,
+    )
 
 
 # repro: allow[API002] closed-form analytical sweep: pure function of

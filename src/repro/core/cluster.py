@@ -56,13 +56,15 @@ from repro.core.faults import (
     RecalibrationRecord,
 )
 from repro.core.simkernel import (
-    KERNEL_MODES,
     BatchingPolicy,
+    BatchTable,
     DispatchContext,
-    EventLoopKernel,
     execute_dispatch,
+    pipeline_completions,
+    plan_batches,
     plan_dispatch,
     validate_arrival_trace,
+    validate_kernel_mode,
 )
 from repro.core.traffic import (
     PipelineServiceModel,
@@ -740,6 +742,218 @@ def allocate_pool(
     return allocations, list(range(next_core, pool_size))
 
 
+def _plan_admitted(
+    raw: np.ndarray, policy: BatchingPolicy, model, cap: int
+) -> (
+    tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple]
+    | None
+):
+    """Vectorized occupancy-cap admission walk for one frozen lane.
+
+    Reproduces the reference lane's admission decisions as array ops.
+    The decision rule (see :class:`_TenantLane`): arrival ``i`` at time
+    ``t_i`` is admitted iff the lane's system occupancy — admissions
+    among arrivals ``< i`` minus requests in batches completed strictly
+    before ``t_i`` — is below ``cap``.  With a *fixed* batch plan the
+    running admission count ``a`` obeys ``a_i = a_{i-1} + [a_{i-1} <
+    u_i]`` with ``u_i = completed_i + cap`` nondecreasing, which has the
+    closed form ``a_i = min(i + 1, i + min_{j<=i}(u_j - j))`` — one
+    ``np.minimum.accumulate``, all-integer, hence exact.
+
+    The batch plan itself depends on the admitted set, so the walk is
+    the speculate/verify/repair shape of the kernel's max-plus scans,
+    one level up: *speculate* an admitted set (initially everything),
+    plan its batches and completions vectorized, *verify* by re-running
+    the closed-form walk against those completions, and *repair* by
+    iterating until the admitted set reproduces itself.  Batches that
+    complete before ``t_i`` only ever contain arrivals judged before
+    ``i`` (requests join batches at or before dispatch, and dispatch
+    precedes completion), so each pass extends the prefix on which the
+    speculated decisions match the reference lane's by at least one
+    arrival: the loop reaches the unique fixed point in at most
+    ``n + 1`` passes, and the fixed point *is* the reference decision
+    sequence.
+
+    The decisions are only half the contract: the reference seals each
+    batch against the queue *visible* at planning time, so the fixed
+    point is handed to :func:`_verify_admission_plan`, which replays
+    that visibility schedule batch by batch.  Near-universally the plan
+    verifies (an arrival must fail its early judgment and then be
+    admitted at the very next commit for visibility to bite); when it
+    does not, the caller falls back to the exact scalar lane.
+
+    Returns:
+        ``(mask, heads, sizes, disp, completion, stage_busy)``: the
+        admitted mask over ``raw`` plus the converged batch plan,
+        per-batch completions, and per-stage busy ledger — or ``None``
+        when the verification walk rejects the plan.
+    """
+    n = raw.size
+    idx = np.arange(n, dtype=np.int64)
+    mask = np.ones(n, dtype=bool)
+    for _ in range(n + 2):
+        heads, sizes, disp = plan_batches(raw[mask], policy, model)
+        completion, stage_busy = pipeline_completions(sizes, disp, model)
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        # completed[i]: requests in batches done strictly before t_i
+        # (completions are strictly increasing within a lane).
+        completed = bounds[np.searchsorted(completion, raw, side="left")]
+        admitted = np.minimum(
+            idx + 1, idx + np.minimum.accumulate(completed + cap - idx)
+        )
+        new_mask = np.diff(admitted, prepend=0) == 1
+        if np.array_equal(new_mask, mask):
+            if _verify_admission_plan(
+                raw, mask, policy, model, cap, sizes, disp, completion
+            ):
+                return mask, heads, sizes, disp, completion, stage_busy
+            return None
+        mask = new_mask
+    raise AssertionError(
+        "admission walk failed to converge — unreachable: the correct "
+        "decision prefix grows every pass"
+    )
+
+
+def _verify_admission_plan(
+    raw: np.ndarray,
+    mask: np.ndarray,
+    policy: BatchingPolicy,
+    model,
+    cap: int,
+    sizes: np.ndarray,
+    disp: np.ndarray,
+    completion: np.ndarray,
+) -> bool:
+    """Replay the reference lane's *visibility* rules against a plan.
+
+    The fixed point of :func:`_plan_admitted` reproduces the reference
+    lane's admission decisions, but the reference seals each batch
+    against the queue *visible at planning time*: an arrival that fails
+    the early-occupancy test stays invisible to that seal even when the
+    commit that follows admits it, so batch formation can differ from
+    :func:`~repro.core.simkernel.plan_batches` over the final admitted
+    set (smaller sealed batches under tight caps).  This walk replays
+    the reference's judgment schedule — per batch, the phase-B frontier
+    (everything at or before the previous dispatch is judged exactly at
+    commit), the queue-empty drain, and the early-admit chain judged
+    against *committed-only* completions — and re-seals each batch with
+    :func:`~repro.core.simkernel.plan_dispatch` on exactly the visible
+    prefix.  O(batches) plan calls; every comparison is exact.
+
+    Returns ``True`` iff the speculated plan is the reference run —
+    judgments that are exact in the reference (drain, phase B) match
+    the fixed-point mask by construction, early admits imply final
+    admits (completions only lower occupancy), and a matching sealed
+    ``(dispatch, size)`` per batch pins the rest by induction.  A
+    ``False`` sends the lane to the scalar reference loop.
+
+    Cost discipline: the frontier replay is one monotone pointer sweep
+    (the early-admit test collapses to a precomputed per-arrival
+    threshold batch ``kmin``), and the expensive re-seal is skipped
+    whenever the sealed batch provably cannot see the invisible suffix
+    — :func:`~repro.core.simkernel.plan_dispatch` reads the queue only
+    at ``head``, at ``head + max_batch - 1``, and at arrivals up to the
+    dispatch instant, so ``head + max_batch`` visible admits plus a
+    next-unjudged arrival after the dispatch pin the seal to the final
+    plan's batch with no call at all.  Only congested batches (queue at
+    the cap around the seal) pay a ``plan_dispatch``.
+    """
+    n = int(raw.size)
+    nb = int(sizes.size)
+    # adm_before[j]: admitted among arrivals < j — the reference lane's
+    # running admission count whenever the walk is still consistent.
+    adm_before_np = np.concatenate(([0], np.cumsum(mask)))
+    total = int(adm_before_np[-1])
+    cum_np = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+    # Early-admit threshold: arrival j passes the committed-only
+    # occupancy test at batch k iff the first k batches completed at
+    # least ``adm_before[j] - cap + 1`` requests before t_j, i.e. iff
+    # k >= kmin[j].  A final shed never passes (occupancy only grows
+    # toward the seal), so it carries an unreachable sentinel — the
+    # chain below stops on it, exactly like the reference's early loop.
+    need = adm_before_np[:-1] - cap + 1
+    kmin_np = np.searchsorted(cum_np, np.maximum(need, 0), side="left")
+    kmin_np = np.where(mask, kmin_np, nb + 1)
+    # Phase-B frontier per batch: commit k judges every arrival at or
+    # before its dispatch exactly; exact judgments equal the fixed
+    # point.
+    pb_np = np.searchsorted(raw, disp, side="right")
+    admitted_idx = np.flatnonzero(mask)
+    admitted_times = raw[mask]
+    busy0 = (
+        model.weight_load_s[0]
+        + np.arange(policy.max_batch + 1) * model.conv_time_s[0]
+    )
+    max_batch = policy.max_batch
+    heads_np = cum_np[:-1]
+    # Tier 1 — all-array screen on a provable *lower bound* of the
+    # visible frontier (the skip condition is monotone in visibility:
+    # if a seal is blind to everything past a smaller frontier, it is
+    # blind past the true, larger one).  The bound: phase B of the
+    # previous commit, plus the batch head itself (sealed ⇒ admitted),
+    # plus — when nothing is shed, so the thresholds are sorted — the
+    # early-admit chain from the start of the trace.
+    pb_prev = np.concatenate(([0], pb_np[: nb - 1])) if nb else pb_np[:0]
+    frontier = np.maximum(pb_prev, admitted_idx[heads_np] + 1)
+    if total == n and nb:
+        frontier = np.maximum(
+            frontier,
+            np.searchsorted(kmin_np, np.arange(nb), side="right"),
+        )
+    visible_np = adm_before_np[frontier]
+    raw_at = np.where(
+        frontier < n, raw[np.minimum(frontier, n - 1)], np.inf
+    )
+    if np.all(
+        (visible_np == total)
+        | ((heads_np + max_batch <= visible_np) & (disp < raw_at))
+    ):
+        return True
+    # Tier 2 — exact frontier replay.  Scalar-access hot loop: plain
+    # lists index several times faster than numpy scalars.
+    adm_before = adm_before_np.tolist()
+    cum = cum_np.tolist()
+    kmin = kmin_np.tolist()
+    pb = pb_np.tolist()
+    raw_l = raw.tolist()
+    disp_l = disp.tolist()
+    sizes_l = sizes.tolist()
+    adm_idx = admitted_idx.tolist()
+    judged = 0
+    for k in range(nb):
+        if k and pb[k - 1] > judged:
+            judged = pb[k - 1]
+        head = cum[k]
+        visible = adm_before[judged]
+        if visible < head:
+            return False  # served more than admitted — already diverged
+        if visible == head:
+            # Queue-empty drain: exact shed judgments through to the
+            # next admitted arrival, which the reference admits before
+            # planning.
+            judged = adm_idx[head] + 1
+        while judged < n and kmin[judged] <= k:
+            judged += 1
+        visible = adm_before[judged]
+        if visible == total:
+            # The whole admitted array is visible, and visibility only
+            # grows: every remaining seal runs over the full array,
+            # which is plan_batches' own fold — guaranteed match.
+            return True
+        if head + max_batch <= visible and disp_l[k] < raw_l[judged]:
+            continue  # seal provably blind to the invisible suffix
+        dispatch, size = plan_dispatch(
+            admitted_times[:visible],
+            head,
+            policy,
+            0.0 if k == 0 else disp_l[k - 1] + float(busy0[sizes_l[k - 1]]),
+        )
+        if dispatch != disp_l[k] or size != sizes_l[k]:
+            return False
+    return True
+
+
 class ClusterSimulator:
     """N models co-served on a shared core pool, on the unified kernel.
 
@@ -778,12 +992,13 @@ class ClusterSimulator:
             times.
         probe_rings: rings in each pool core's accuracy-probe bank.
         mode: kernel execution mode.  ``"auto"`` (the default) runs the
-            vectorized kernel whenever the cluster is a single tenant
-            with no faults, no elastic reallocation, and no admission
-            cap — the only shape with no cross-tenant feedback — and
-            the global event loop otherwise.  ``"vectorized"`` demands
-            that shape (``run`` raises otherwise); ``"reference"``
-            always runs the global loop.  Both paths are bit-identical.
+            vectorized lane-decomposition fast path whenever the
+            allocation is frozen — no fault schedule, no elastic
+            reallocation, no *enabled* burn-rate admission controller
+            (static occupancy caps are fine) — and the global event
+            loop otherwise.  ``"vectorized"`` demands that shape
+            (``run`` raises otherwise); ``"reference"`` always runs
+            the global loop.  Both paths are bit-identical.
 
     Raises:
         ValueError: on an empty or duplicated tenant set, a bad pool
@@ -809,10 +1024,7 @@ class ClusterSimulator:
         names = [tenant.name for tenant in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names!r}")
-        if mode not in KERNEL_MODES:
-            raise ValueError(
-                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
-            )
+        validate_kernel_mode(mode)
         self.admission = dict(admission) if admission else {}
         unknown = set(self.admission) - set(names)
         if unknown:
@@ -835,18 +1047,24 @@ class ClusterSimulator:
 
     @property
     def _vectorizable(self) -> bool:
-        """Whether the run has no cross-tenant or plugin feedback.
+        """Whether the run decomposes into independent frozen lanes.
 
-        A single fault-free tenant with a frozen allocation and no
-        admission cap plans exactly like the plain simulator, so the
-        whole run collapses to one pluginless kernel invocation.
+        With no fault schedule and no elastic reallocation the core
+        allocation is frozen, so tenant lanes share no state: each lane
+        plans, sheds, and books exactly as if it ran alone, and the
+        global loop's tie-ordering has no arithmetic effect.  Static
+        occupancy caps (a tenant's ``queue_cap``, or a *disabled*
+        burn-rate controller's) are per-lane too.  Only an *enabled*
+        burn-rate controller breaks the decomposition — its judgments
+        read completion latencies mid-run and can flip as batches seal.
         """
         return (
-            len(self.tenants) == 1
-            and self.schedule is None
+            self.schedule is None
             and self.elastic is None
-            and self.tenants[0].queue_cap is None
-            and not self.admission
+            and not any(
+                controller.enabled
+                for controller in self.admission.values()
+            )
         )
 
     def _tie_key(self, lane: _TenantLane) -> tuple:
@@ -957,9 +1175,10 @@ class ClusterSimulator:
             )
         if self.mode == "vectorized" and not self._vectorizable:
             raise ValueError(
-                "vectorized mode needs a single tenant with no faults, "
-                "no elastic reallocation, and no queue cap — those runs "
-                "have mid-loop feedback; use mode='reference' (or 'auto')"
+                "vectorized mode needs a frozen-allocation cluster — no "
+                "fault schedule, no elastic reallocation, no enabled "
+                "burn-rate admission controller; those runs have "
+                "mid-loop feedback; use mode='reference' (or 'auto')"
             )
         if self.mode != "reference" and self._vectorizable:
             return self._run_vectorized(arrival_s)
@@ -1050,47 +1269,117 @@ class ClusterSimulator:
             recalibrations=tuple(recalibrations),
         )
 
-    def _run_vectorized(
-        self, arrival_s: Mapping[str, np.ndarray]
-    ) -> ClusterReport:
-        """Serve a feedback-free single-tenant cluster on the fast path.
+    def _serve_lane_vectorized(
+        self, index: int, tenant: ClusterTenant, trace: np.ndarray
+    ) -> TenantServingReport:
+        """One frozen tenant lane on the vectorized kernel.
 
-        One pluginless vectorized kernel run, re-badged as a cluster
-        report: busy time lands on the tenant's *physical* pool cores
-        and the per-batch width/proxy columns are constant — exactly
-        what the global loop records for this shape, bit for bit.
+        A pluginless :func:`~repro.core.simkernel.plan_batches` /
+        :func:`~repro.core.simkernel.pipeline_completions` run — with
+        the :func:`_plan_admitted` walk in front when the lane carries
+        an occupancy cap — re-badged as a tenant report: busy time
+        lands on the tenant's *physical* pool cores and the per-batch
+        width/proxy columns are constant, exactly what the global loop
+        records for a frozen lane, bit for bit.
         """
-        tenant = self.tenants[0]
-        trace = validate_arrival_trace(arrival_s[tenant.name])
-        phys = self._allocations[0]
+        phys = self._allocations[index]
+        controller = self.admission.get(tenant.name)
+        cap = (
+            controller.queue_cap
+            if controller is not None
+            else tenant.queue_cap
+        )
+        policy = tenant.policy if cap is None else tenant.policy.capped(cap)
         model = PipelineServiceModel.from_specs(
             list(tenant.specs), len(phys), self.config
         )
-        run = EventLoopKernel(model, tenant.policy, mode="vectorized").run(
-            trace
-        )
+        if cap is None:
+            admitted = trace.copy()
+            shed = np.array([])
+            heads, sizes, disp = plan_batches(trace, policy, model)
+            completion, stage_busy = pipeline_completions(
+                sizes, disp, model
+            )
+        else:
+            plan = _plan_admitted(trace, policy, model, cap)
+            if plan is None:
+                # The sealed-visibility walk rejected the speculation
+                # (an early-shed arrival re-admitted at the very next
+                # commit shrank a reference batch): serve this one lane
+                # on the exact scalar loop instead.
+                return self._serve_lane_reference(index, tenant, trace)
+            mask, heads, sizes, disp, completion, stage_busy = plan
+            admitted = trace[mask]
+            shed = trace[~mask]
         pool_busy = [0.0] * self.pool_size
         for stage, core in enumerate(phys):
-            pool_busy[core] = run.core_busy_s[stage]
-        num_batches = len(run.batches)
-        report = TenantServingReport(
-            policy=tenant.policy,
+            pool_busy[core] = stage_busy[stage]
+        num_batches = int(heads.size)
+        return TenantServingReport(
+            policy=policy,
             num_cores=len(phys),
-            arrival_s=trace.copy(),
-            dispatch_s=run.dispatch_s,
-            completion_s=run.completion_s,
-            batches=run.batches,
+            arrival_s=admitted,
+            dispatch_s=np.repeat(disp, sizes),
+            completion_s=np.repeat(completion, sizes),
+            batches=BatchTable(heads, sizes, disp, completion),
             core_busy_s=tuple(pool_busy),
             tenant=tenant.name,
             offered_arrival_s=trace,
-            shed_arrival_s=np.array([]),
+            shed_arrival_s=shed,
             batch_num_cores=np.full(num_batches, len(phys), dtype=int),
             accuracy_proxy=np.zeros(num_batches),
+        )
+
+    def _serve_lane_reference(
+        self, index: int, tenant: ClusterTenant, trace: np.ndarray
+    ) -> TenantServingReport:
+        """Exact scalar fallback for one lane of the fast path.
+
+        A frozen lane shares no state with its neighbours, so driving
+        its :class:`_TenantLane` plan/commit loop in isolation is the
+        global event loop restricted to this tenant — bit for bit,
+        including the zero accuracy proxy a pristine pool records.
+        """
+        lane = _TenantLane(
+            index,
+            tenant,
+            trace,
+            self._allocations[index],
+            self.pool_size,
+            self.config,
+            admission=self.admission.get(tenant.name),
+        )
+        while True:
+            plan = lane.plan()
+            if plan is None:
+                break
+            dispatch, size = plan
+            lane.commit(dispatch, size)
+            lane.proxies.append(0.0)
+        return lane.report()
+
+    def _run_vectorized(
+        self, arrival_s: Mapping[str, np.ndarray]
+    ) -> ClusterReport:
+        """Serve a frozen-allocation cluster on the fast path.
+
+        Lane decomposition: with the allocation frozen and no fault
+        state, a K-tenant run is exactly K independent single-lane runs
+        — each one vectorized — merged in tenant order into the same
+        :class:`ClusterReport` the global event loop would emit.
+        """
+        reports = tuple(
+            self._serve_lane_vectorized(
+                index,
+                tenant,
+                validate_arrival_trace(arrival_s[tenant.name]),
+            )
+            for index, tenant in enumerate(self.tenants)
         )
         return ClusterReport(
             pool_size=self.pool_size,
             routing=self.routing.kind,
-            tenants=(report,),
+            tenants=reports,
             reallocations=(),
             schedule_name=None,
             recalibration_name=(

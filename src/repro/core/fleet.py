@@ -61,7 +61,7 @@ from repro.core.cluster import (
 )
 from repro.core.config import PCNNAConfig
 from repro.core.faults import FaultSchedule, RecalibrationPolicy
-from repro.core.simkernel import KERNEL_MODES, validate_arrival_trace
+from repro.core.simkernel import validate_arrival_trace, validate_kernel_mode
 from repro.core.traffic import PipelineServiceModel
 
 # Contract marker checked by `python -m repro.lint` (BIT001): the
@@ -792,10 +792,7 @@ class FleetRuntime:
             raise ValueError(
                 f"region names must be unique, got {region_names!r}"
             )
-        if mode not in KERNEL_MODES:
-            raise ValueError(
-                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
-            )
+        validate_kernel_mode(mode)
         self.tenants = tuple(tenants)
         self.regions = tuple(regions)
         self.rtt_s = validate_rtt_matrix(rtt_s, len(regions))

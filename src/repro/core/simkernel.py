@@ -63,6 +63,26 @@ mode").
 """
 
 
+def validate_kernel_mode(mode: str) -> str:
+    """Validate a kernel execution mode (shared by every front door).
+
+    The traffic, cluster, and fleet simulators all accept the same
+    ``mode`` argument; validating it here keeps the error message (and
+    the accepted set) identical everywhere.
+
+    Returns:
+        The validated mode, unchanged.
+
+    Raises:
+        ValueError: if ``mode`` is not one of :data:`KERNEL_MODES`.
+    """
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
+        )
+    return mode
+
+
 @dataclass(frozen=True)
 class BatchingPolicy:
     """When does the queue head stop waiting for batch-mates?
@@ -807,6 +827,37 @@ def plan_batches(
     return _plan_batches_dynamic(arrivals, policy, busy0)
 
 
+def pipeline_completions(
+    sizes: np.ndarray, disp: np.ndarray, model
+) -> tuple[np.ndarray, tuple[float, ...]]:
+    """Walk a planned batch stream through every pipeline stage.
+
+    The execution half of the vectorized kernel, usable on its own by
+    any caller that already has per-batch ``(size, dispatch)`` arrays
+    from :func:`plan_batches` — the cluster fast path runs it once per
+    tenant lane.  Stage 0 starts every batch at its dispatch time (the
+    planner guarantees dispatch >= core-0 free), so its completions are
+    a single elementwise add; each later stage is one exact max-plus
+    scan over the batch stream.  Bit-identical to booking the batches
+    through :func:`execute_dispatch` one at a time.
+
+    Returns:
+        Per-batch final-stage completion times and the per-stage total
+        busy time (the kernel's core busy ledger).
+    """
+    busy = model.weight_load_s[0] + sizes * model.conv_time_s[0]
+    completion = disp + busy
+    core_busy = [float(np.cumsum(busy)[-1])]
+    for stage in range(1, model.num_cores):
+        busy = (
+            model.weight_load_s[stage]
+            + sizes * model.conv_time_s[stage]
+        )
+        completion = _maxplus_scan(completion, busy)
+        core_busy.append(float(np.cumsum(busy)[-1]))
+    return completion, tuple(core_busy)
+
+
 class EventLoopKernel:
     """The seeded discrete-event loop: queue → batcher → core pipeline.
 
@@ -832,10 +883,7 @@ class EventLoopKernel:
         plugins: tuple[KernelPlugin, ...] = (),
         mode: str = "auto",
     ) -> None:
-        if mode not in KERNEL_MODES:
-            raise ValueError(
-                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
-            )
+        validate_kernel_mode(mode)
         if mode == "vectorized" and plugins:
             raise ValueError(
                 "vectorized mode cannot host plugins — they mutate the "
@@ -869,22 +917,13 @@ class EventLoopKernel:
         """
         model = self.model
         heads, sizes, disp = plan_batches(arrivals, self.policy, model)
-        busy = model.weight_load_s[0] + sizes * model.conv_time_s[0]
-        completion = disp + busy
-        core_busy = [float(np.cumsum(busy)[-1])]
-        for stage in range(1, model.num_cores):
-            busy = (
-                model.weight_load_s[stage]
-                + sizes * model.conv_time_s[stage]
-            )
-            completion = _maxplus_scan(completion, busy)
-            core_busy.append(float(np.cumsum(busy)[-1]))
+        completion, core_busy = pipeline_completions(sizes, disp, model)
         return KernelRun(
             arrival_s=arrivals,
             dispatch_s=np.repeat(disp, sizes),
             completion_s=np.repeat(completion, sizes),
             batches=BatchTable(heads, sizes, disp, completion),
-            core_busy_s=tuple(core_busy),
+            core_busy_s=core_busy,
             initial_num_cores=model.num_cores,
         )
 
@@ -936,7 +975,9 @@ __all__ = [
     "KernelRun",
     "KernelTelemetry",
     "execute_dispatch",
+    "pipeline_completions",
     "plan_batches",
     "plan_dispatch",
     "validate_arrival_trace",
+    "validate_kernel_mode",
 ]

@@ -67,6 +67,7 @@ from repro.core.simkernel import (
     EventLoopKernel,
     plan_dispatch,
     validate_arrival_trace,
+    validate_kernel_mode,
 )
 from repro.nn.network import Network
 from repro.nn.shapes import ConvLayerSpec
@@ -369,13 +370,9 @@ class ServingSimulator:
         policy: BatchingPolicy,
         mode: str = "auto",
     ) -> None:
-        if mode not in KERNEL_MODES:
-            raise ValueError(
-                f"unknown kernel mode {mode!r}; have {KERNEL_MODES}"
-            )
+        self.mode = validate_kernel_mode(mode)
         self.model = model
         self.policy = policy
-        self.mode = mode
 
     def run(self, arrival_s: np.ndarray) -> ServingReport:
         """Serve a trace of arrival times to completion.

@@ -33,7 +33,7 @@ from repro.core.faults import (
     replay_on_engine_degraded,
     simulate_degraded_serving,
 )
-from repro.core.cluster import ClusterTenant
+from repro.core.cluster import ClusterTenant, simulate_cluster_serving
 from repro.core.fleet import (
     RegionSpec,
     simulate_fleet_serving,
@@ -46,6 +46,7 @@ from repro.core.traffic import (
 )
 from repro.nn.layers import Conv2D
 from repro.workloads import (
+    cluster_mix,
     fault_scenario,
     lenet5_conv_specs,
     poisson_arrivals,
@@ -359,6 +360,66 @@ def compute_adaptive_recal_trace() -> dict[str, np.ndarray]:
     }
 
 
+# -- canonical capped multi-tenant cluster trace (PR 10) ------------------
+CLUSTER_MIX = "interactive-batch"
+CLUSTER_REQUESTS = 1500  # split 70/30 across the mix's two tenants
+CLUSTER_ARRIVAL_SEED = 17
+CLUSTER_RATE_RPS = 8e5  # deep overload: the occupancy cap genuinely bites
+CLUSTER_POOL_SIZE = 3
+
+
+def compute_cluster_vectorized_trace() -> dict[str, np.ndarray]:
+    """One deterministic capped multi-tenant cluster trace end to end.
+
+    The fixture pins the PR 10 frozen-allocation fast path's complete
+    observable surface on the canonical two-tenant capped mix — the
+    per-lane batch plans, the per-request streams, the occupancy-cap
+    shed sets, the busy ledgers, and the latency percentiles — so any
+    change to the lane decomposition, the closed-form admission walk,
+    or its verification tiers shows up as a bit difference.  Because
+    the vectorized and reference modes are pinned bit-identical
+    elsewhere, this one fixture guards both.
+    """
+    tenants, arrival_s = cluster_mix(
+        CLUSTER_MIX, CLUSTER_RATE_RPS, CLUSTER_REQUESTS, seed=CLUSTER_ARRIVAL_SEED
+    )
+    report = simulate_cluster_serving(
+        tenants, arrival_s, CLUSTER_POOL_SIZE, mode="vectorized"
+    )
+    assert report.num_shed > 0, "the golden scenario must actually shed"
+    fixture: dict[str, np.ndarray] = {
+        "arrivals_sha256": input_digest(
+            np.concatenate([arrival_s[t.name] for t in tenants])
+        ),
+        "meta_requests": np.array(CLUSTER_REQUESTS),
+        "meta_arrival_seed": np.array(CLUSTER_ARRIVAL_SEED),
+        "meta_rate_rps": np.array(CLUSTER_RATE_RPS),
+        "meta_pool_size": np.array(CLUSTER_POOL_SIZE),
+    }
+    for sub in report.tenants:
+        prefix = sub.tenant
+        fixture[f"{prefix}_dispatch_s"] = sub.dispatch_s
+        fixture[f"{prefix}_completion_s"] = sub.completion_s
+        fixture[f"{prefix}_shed_arrival_s"] = sub.shed_arrival_s
+        fixture[f"{prefix}_batch_first_request"] = np.array(
+            [b.first_request for b in sub.batches]
+        )
+        fixture[f"{prefix}_batch_sizes"] = np.array(
+            [b.size for b in sub.batches]
+        )
+        fixture[f"{prefix}_batch_dispatch_s"] = np.array(
+            [b.dispatch_s for b in sub.batches]
+        )
+        fixture[f"{prefix}_batch_completion_s"] = np.array(
+            [b.completion_s for b in sub.batches]
+        )
+        fixture[f"{prefix}_core_busy_s"] = np.array(sub.core_busy_s)
+        fixture[f"{prefix}_percentiles_s"] = np.array(
+            [sub.p50_s, sub.p95_s, sub.p99_s]
+        )
+    return fixture
+
+
 def build_accelerator(mode: str) -> PCNNA:
     """The accelerator under golden test for one mode."""
     accelerator = PCNNA()
@@ -450,6 +511,14 @@ def main() -> None:
         f"wrote {adaptive_path.relative_to(GOLDEN_DIR.parent.parent)} "
         f"({len(adaptive['decision_time_s'])} decisions, "
         f"{int(adaptive['num_recalibrations'])} recals)"
+    )
+    cluster = compute_cluster_vectorized_trace()
+    cluster_path = fixture_path("cluster", "vectorized")
+    np.savez_compressed(cluster_path, **cluster)
+    print(
+        f"wrote {cluster_path.relative_to(GOLDEN_DIR.parent.parent)} "
+        f"({len(cluster['interactive_shed_arrival_s'])} shed, "
+        f"interactive p99 {cluster['interactive_percentiles_s'][2]:.3e} s)"
     )
 
 

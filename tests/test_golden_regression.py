@@ -403,3 +403,83 @@ class TestAdaptiveRecalGolden:
             assert not np.array_equal(
                 fixture["decision_smoothed"], fixture["decision_error"]
             )
+
+
+class TestClusterVectorizedGolden:
+    """PR 10: the canonical capped two-tenant cluster trace.
+
+    The fixture pins the frozen-allocation fast path's full observable
+    surface — per-lane batch plans, per-request streams, occupancy-cap
+    shed sets, busy ledgers, percentiles — so any change to the lane
+    decomposition, the closed-form admission walk, or its verification
+    tiers shows up as a bit difference.  The multi-tenant differential
+    pins in ``test_vectorized_kernel.py`` extend the guard to the
+    reference event loop.
+    """
+
+    TENANTS = ("interactive", "batch")
+    STREAM_KEYS = (
+        "dispatch_s",
+        "completion_s",
+        "shed_arrival_s",
+        "batch_first_request",
+        "batch_sizes",
+        "batch_dispatch_s",
+        "batch_completion_s",
+        "core_busy_s",
+        "percentiles_s",
+    )
+
+    def test_cluster_trace_matches_golden_fixture(self):
+        from golden.regenerate import compute_cluster_vectorized_trace
+
+        path = fixture_path("cluster", "vectorized")
+        assert path.exists(), (
+            f"missing golden fixture {path}; run "
+            "`PYTHONPATH=src python tests/golden/regenerate.py`"
+        )
+        with np.load(path) as fixture:
+            trace = compute_cluster_vectorized_trace()
+            assert np.array_equal(
+                fixture["arrivals_sha256"], trace["arrivals_sha256"]
+            ), "the seeded arrival traces themselves drifted"
+            for tenant in self.TENANTS:
+                for key in self.STREAM_KEYS:
+                    _assert_matches(
+                        f"cluster/vectorized/{tenant}/{key}",
+                        fixture[f"{tenant}_{key}"],
+                        trace[f"{tenant}_{key}"],
+                    )
+
+    def test_cluster_metadata_pins_the_scenario(self):
+        from golden import regenerate
+
+        with np.load(fixture_path("cluster", "vectorized")) as fixture:
+            assert int(fixture["meta_requests"]) == regenerate.CLUSTER_REQUESTS
+            assert (
+                int(fixture["meta_arrival_seed"])
+                == regenerate.CLUSTER_ARRIVAL_SEED
+            )
+            assert (
+                float(fixture["meta_rate_rps"]) == regenerate.CLUSTER_RATE_RPS
+            )
+            assert (
+                int(fixture["meta_pool_size"]) == regenerate.CLUSTER_POOL_SIZE
+            )
+
+    def test_cluster_fixture_genuinely_sheds_and_batches(self):
+        """Sanity: the capture scenario really stresses the admission
+        walk — the interactive cap sheds, survivors still batch, and
+        the conservation law holds within the fixture itself."""
+        with np.load(fixture_path("cluster", "vectorized")) as fixture:
+            shed = fixture["interactive_shed_arrival_s"]
+            assert shed.size > 0
+            assert np.all(np.diff(shed) >= 0.0)
+            sizes = fixture["interactive_batch_sizes"]
+            assert sizes.max() > 1  # survivors genuinely batch
+            assert (
+                sizes.sum() + shed.size
+                == fixture["interactive_dispatch_s"].size + shed.size
+            )
+            assert np.all(fixture["batch_batch_sizes"] <= 16)
+            assert fixture["batch_shed_arrival_s"].size == 0

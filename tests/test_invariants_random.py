@@ -71,11 +71,13 @@ from repro.core.adaptive import (
     PressureController,
     simulate_adaptive_serving,
 )
+from repro.analysis import sweep_cluster_serving
 from repro.core.cluster import (
     ClusterSimulator,
     ClusterTenant,
     ElasticReallocation,
     RoutingPolicy,
+    simulate_cluster_serving,
 )
 from repro.core.config import PCNNAConfig
 from repro.core.faults import (
@@ -706,6 +708,123 @@ class TestKernelModeEquivalence:
         assert np.all(np.diff(report.dispatch_s) >= 0.0)
         assert np.all(np.diff(report.completion_s) >= 0.0)
         assert all(busy >= 0.0 for busy in report.core_busy_s)
+
+
+# --------------------------------------------------------------------------
+# PR 10: frozen-allocation cluster fast path + parallel grid executor
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def frozen_cluster_case(draw):
+    """A random frozen-allocation cluster: no faults, no elastic — the
+    shape the vectorized lane decomposition claims to cover exactly.
+    Caps are drawn down to 1 so the admission walk and its scalar
+    fallback both get exercised, and traces optionally quantize onto a
+    coarse grid to pile ties onto cap boundaries."""
+    num_tenants = draw(st.integers(min_value=1, max_value=3))
+    tenants = []
+    arrivals = {}
+    for index in range(num_tenants):
+        specs = tuple(draw(st.sampled_from(_TENANT_SPECS))())
+        policy = draw(
+            st.sampled_from(
+                [
+                    BatchingPolicy.fifo(),
+                    BatchingPolicy.dynamic(8, 1e-3),
+                    BatchingPolicy.dynamic(4, 0.0),
+                    BatchingPolicy.fixed(8),
+                ]
+            )
+        )
+        tenant = ClusterTenant(
+            name=f"tenant-{index}",
+            specs=specs,
+            policy=policy,
+            weight=draw(st.floats(min_value=0.5, max_value=4.0)),
+            priority=draw(st.integers(min_value=0, max_value=2)),
+            queue_cap=draw(st.one_of(st.none(), st.integers(1, 64))),
+        )
+        count = draw(st.integers(min_value=1, max_value=120))
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        trace = poisson_arrivals(count / _FAULT_HORIZON_S, count, seed=seed)
+        if draw(st.booleans()):
+            span = float(trace[-1]) if float(trace[-1]) > 0.0 else 1.0
+            decimals = max(0, int(-np.floor(np.log10(span))) + 1)
+            trace = np.round(trace, decimals)
+        tenants.append(tenant)
+        arrivals[tenant.name] = trace
+    pool_size = draw(
+        st.integers(min_value=num_tenants, max_value=num_tenants + 3)
+    )
+    routing = draw(
+        st.sampled_from(
+            [RoutingPolicy.weighted_fair(), RoutingPolicy.priority()]
+        )
+    )
+    return tenants, pool_size, arrivals, routing
+
+
+class TestClusterModeEquivalence:
+    """Frozen-allocation clusters: vectorized == reference, byte for
+    byte, and the parallel grid executor == serial, byte for byte."""
+
+    @given(case=frozen_cluster_case())
+    @settings(max_examples=25, deadline=None)
+    def test_cluster_modes_byte_identical(self, case):
+        tenants, pool, arrivals, routing = case
+        ref = simulate_cluster_serving(
+            tenants, arrivals, pool, routing=routing, mode="reference"
+        )
+        vec = simulate_cluster_serving(
+            tenants, arrivals, pool, routing=routing, mode="vectorized"
+        )
+        auto = simulate_cluster_serving(
+            tenants, arrivals, pool, routing=routing
+        )
+        for other in (vec, auto):
+            assert other.routing == ref.routing
+            for r, v in zip(ref.tenants, other.tenants):
+                assert r.tenant == v.tenant
+                assert r.arrival_s.tobytes() == v.arrival_s.tobytes()
+                assert r.dispatch_s.tobytes() == v.dispatch_s.tobytes()
+                assert r.completion_s.tobytes() == v.completion_s.tobytes()
+                assert (
+                    r.shed_arrival_s.tobytes() == v.shed_arrival_s.tobytes()
+                )
+                assert tuple(r.batches) == tuple(v.batches)
+                assert r.core_busy_s == v.core_busy_s
+                assert np.array_equal(r.batch_num_cores, v.batch_num_cores)
+                assert np.array_equal(r.accuracy_proxy, v.accuracy_proxy)
+
+    @given(case=frozen_cluster_case())
+    @settings(max_examples=3, deadline=None)
+    def test_sweep_workers_byte_identical(self, case):
+        """``workers`` in {1, 2, 4} over a pool-size sweep returns the
+        same points in the same order with the same bytes."""
+        tenants, pool, arrivals, routing = case
+        pools = [pool, pool + 1, pool + 2]
+        serial = sweep_cluster_serving(
+            tenants, arrivals, pools, routing=routing
+        )
+        for workers in (2, 4):
+            fanned = sweep_cluster_serving(
+                tenants, arrivals, pools, routing=routing, workers=workers
+            )
+            assert len(fanned) == len(serial)
+            for a, b in zip(serial, fanned):
+                assert a.pool_size == b.pool_size
+                for r, v in zip(a.report.tenants, b.report.tenants):
+                    assert r.tenant == v.tenant
+                    assert r.dispatch_s.tobytes() == v.dispatch_s.tobytes()
+                    assert (
+                        r.completion_s.tobytes() == v.completion_s.tobytes()
+                    )
+                    assert (
+                        r.shed_arrival_s.tobytes()
+                        == v.shed_arrival_s.tobytes()
+                    )
+                    assert tuple(r.batches) == tuple(v.batches)
 
 
 # --------------------------------------------------------------------------
